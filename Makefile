@@ -1,0 +1,44 @@
+# Convenience targets for the dual-cube reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench experiments figures fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./internal/machine ./internal/collective ./internal/prefix
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment table (the content of EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/dcbench
+
+# Reproduce the paper's figures as text.
+figures:
+	$(GO) run ./cmd/dcinfo -fig 2
+	$(GO) run ./cmd/dprefix
+	$(GO) run ./cmd/dsort
+
+# Short fuzzing bursts over the two fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzDPrefixD3 -fuzztime=30s ./internal/prefix
+	$(GO) test -fuzz=FuzzDSortD3 -fuzztime=30s ./internal/sortnet
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,382 @@
+// Benchmarks, one per experiment in DESIGN.md's index. Each measures the
+// wall-clock cost of one full simulated run (goroutine-per-node machine);
+// the step counts the paper's theorems bound are asserted in the unit
+// tests and reported by cmd/dcbench — here we measure the simulator.
+//
+// Run: go test -bench=. -benchmem
+package dualcube
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dualcube/internal/collective"
+	"dualcube/internal/embedding"
+	"dualcube/internal/machine"
+	"dualcube/internal/monoid"
+	"dualcube/internal/ntt"
+	"dualcube/internal/prefix"
+	"dualcube/internal/samplesort"
+	"dualcube/internal/sortnet"
+	"dualcube/internal/topology"
+)
+
+func benchInput(n int) []int {
+	N := 1 << (2*n - 1)
+	rng := rand.New(rand.NewSource(int64(n)))
+	in := make([]int, N)
+	for i := range in {
+		in[i] = rng.Intn(1 << 20)
+	}
+	return in
+}
+
+// BenchmarkE2Diameter measures the all-pairs BFS diameter check of the
+// structural experiment.
+func BenchmarkE2Diameter(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		d := topology.MustDualCube(n)
+		b.Run(fmt.Sprintf("D_%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if topology.DiameterBFS(d) != d.Diameter() {
+					b.Fatal("diameter mismatch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4DPrefix: Algorithm 2 (cluster-technique prefix) on D_n.
+func BenchmarkE4DPrefix(b *testing.B) {
+	for _, n := range []int{2, 3, 4, 5, 6} {
+		in := benchInput(n)
+		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, len(in)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := prefix.DPrefix(n, in, monoid.Sum[int](), true, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4EmulatedPrefix: the ablation — naive hypercube emulation.
+func BenchmarkE4EmulatedPrefix(b *testing.B) {
+	for _, n := range []int{2, 3, 4, 5} {
+		in := benchInput(n)
+		b.Run(fmt.Sprintf("D_%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := prefix.EmulatedCubePrefix(n, in, monoid.Sum[int](), true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5CubePrefix: Algorithm 1 on the equal-sized hypercube.
+func BenchmarkE5CubePrefix(b *testing.B) {
+	for _, q := range []int{3, 5, 7, 9, 11} {
+		rng := rand.New(rand.NewSource(int64(q)))
+		in := make([]int, 1<<q)
+		for i := range in {
+			in[i] = rng.Intn(1 << 20)
+		}
+		b.Run(fmt.Sprintf("Q_%d/nodes=%d", q, len(in)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := prefix.CubePrefix(q, in, monoid.Sum[int](), true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8DSort: Algorithm 3 on D_n.
+func BenchmarkE8DSort(b *testing.B) {
+	for _, n := range []int{2, 3, 4, 5} {
+		in := benchInput(n)
+		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, len(in)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sortnet.DSort(n, in, func(a, b int) bool { return a < b }, sortnet.Ascending, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9CubeSort: bitonic sort baseline on Q_{2n-1}.
+func BenchmarkE9CubeSort(b *testing.B) {
+	for _, q := range []int{3, 5, 7, 9} {
+		rng := rand.New(rand.NewSource(int64(q)))
+		in := make([]int, 1<<q)
+		for i := range in {
+			in[i] = rng.Intn(1 << 20)
+		}
+		b.Run(fmt.Sprintf("Q_%d/nodes=%d", q, len(in)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sortnet.CubeSort(q, in, func(a, b int) bool { return a < b }, sortnet.Ascending); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12PrefixLarge: k elements per node; communication constant in k.
+func BenchmarkE12PrefixLarge(b *testing.B) {
+	const n = 3
+	for _, k := range []int{1, 16, 256} {
+		N := 1 << (2*n - 1)
+		rng := rand.New(rand.NewSource(int64(k)))
+		in := make([]int, k*N)
+		for i := range in {
+			in[i] = rng.Intn(1 << 20)
+		}
+		b.Run(fmt.Sprintf("D_%d/k=%d", n, k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := prefix.DPrefixLarge(n, k, in, monoid.Sum[int](), true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12SortLarge: merge-split sort with k keys per node.
+func BenchmarkE12SortLarge(b *testing.B) {
+	const n = 3
+	for _, k := range []int{1, 16, 64} {
+		N := 1 << (2*n - 1)
+		rng := rand.New(rand.NewSource(int64(k)))
+		in := make([]int, k*N)
+		for i := range in {
+			in[i] = rng.Intn(1 << 20)
+		}
+		b.Run(fmt.Sprintf("D_%d/k=%d", n, k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sortnet.DSortLarge(n, k, in, func(a, b int) bool { return a < b }, sortnet.Ascending); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13Collectives: broadcast, all-reduce and gather at 2n steps.
+func BenchmarkE13Collectives(b *testing.B) {
+	const n = 4
+	in := benchInput(n)
+	b.Run("Broadcast/D_4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := collective.Broadcast(n, 5, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("AllReduce/D_4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := collective.AllReduce(n, in, monoid.Sum[int]()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Gather/D_4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := collective.Gather(n, 5, in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStepKinds isolates the simulator's per-cycle cost for the two
+// kinds of dimension step D_sort uses: the 1-cycle cross-edge exchange and
+// the 3-cycle routed exchange (the ablation behind Theorem 2's constant).
+func BenchmarkStepKinds(b *testing.B) {
+	d := topology.MustDualCube(4)
+	b.Run("cross-exchange-1cycle", func(b *testing.B) {
+		eng := machine.New[int](d, machine.Config{})
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(func(c *machine.Ctx[int]) {
+				c.Exchange(d.CrossNeighbor(c.ID()), c.ID())
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("routed-exchange-3cycles", func(b *testing.B) {
+		eng := machine.New[int](d, machine.Config{})
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(func(c *machine.Ctx[int]) {
+				// dimension 1 is routed for half the nodes.
+				r := d.ToRecursive(c.ID())
+				if d.RecDirect(r, 1) {
+					jp := d.FromRecursive(r ^ 2)
+					cr := d.CrossNeighbor(c.ID())
+					_, f := c.SendRecv2(jp, c.ID(), jp, cr)
+					rel := c.SendRecv(jp, f, jp)
+					c.Send(cr, rel)
+				} else {
+					cr := d.CrossNeighbor(c.ID())
+					c.Send(cr, c.ID())
+					c.Idle()
+					c.Recv(cr)
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMachineBarrier measures the raw lockstep cost: 100 idle cycles.
+func BenchmarkMachineBarrier(b *testing.B) {
+	for _, n := range []int{2, 3, 4, 5} {
+		d := topology.MustDualCube(n)
+		eng := machine.New[int](d, machine.Config{})
+		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, d.Nodes()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(func(c *machine.Ctx[int]) {
+					for k := 0; k < 100; k++ {
+						c.Exchange(d.CrossNeighbor(c.ID()), k)
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPermute: oblivious permutation routing (one sort's cost).
+func BenchmarkPermute(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		N := 1 << (2*n - 1)
+		rng := rand.New(rand.NewSource(int64(n)))
+		dests := rng.Perm(N)
+		values := make([]int, N)
+		for i := range values {
+			values[i] = rng.Int()
+		}
+		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sortnet.Permute(n, dests, values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllToAll: the total exchange (2n rounds, O(N) payload per node).
+func BenchmarkAllToAll(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		N := 1 << (2*n - 1)
+		in := make([][]int, N)
+		for i := range in {
+			in[i] = make([]int, N)
+			for j := range in[i] {
+				in[i][j] = i*N + j
+			}
+		}
+		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := collective.AllToAll(n, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSegmentedPrefix: segmentation is free (same 2n steps).
+func BenchmarkSegmentedPrefix(b *testing.B) {
+	const n = 4
+	N := 1 << (2*n - 1)
+	values := make([]int, N)
+	heads := make([]bool, N)
+	for i := range values {
+		values[i] = i
+		heads[i] = i%7 == 0
+	}
+	b.Run(fmt.Sprintf("D_%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := prefix.DPrefixSegmented(n, values, heads, monoid.Sum[int]()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHamiltonianCycle: constructing + verifying the ring embedding.
+func BenchmarkHamiltonianCycle(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		d := topology.MustDualCube(n)
+		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, d.Nodes()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cycle, err := embedding.DualCubeHamiltonianCycle(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := embedding.VerifyCycle(d, cycle); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNTT: the emulated butterfly (E16) on dual-cube vs hypercube.
+func BenchmarkNTT(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		N := 1 << (2*n - 1)
+		in := make([]uint64, N)
+		for i := range in {
+			in[i] = uint64(i*2654435761) % ntt.Mod
+		}
+		b.Run(fmt.Sprintf("dualcube/D_%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ntt.Transform(n, in, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("hypercube/Q_%d", 2*n-1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ntt.CubeTransform(n, in, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE17SampleSort: the collective-based sorting family vs bitonic.
+func BenchmarkE17SampleSort(b *testing.B) {
+	const k = 16
+	for _, n := range []int{2, 3, 4} {
+		N := 1 << (2*n - 1)
+		rng := rand.New(rand.NewSource(int64(n)))
+		in := make([]int, k*N)
+		for i := range in {
+			in[i] = rng.Intn(1 << 20)
+		}
+		b.Run(fmt.Sprintf("samplesort/D_%d/k=%d", n, k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := samplesort.Sort(n, k, in, func(a, b int) bool { return a < b }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("bitonic/D_%d/k=%d", n, k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sortnet.DSortLarge(n, k, in, func(a, b int) bool { return a < b }, sortnet.Ascending); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+// Command dcbench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: each table measures one claim of the paper (structure,
+// Theorem 1, Theorem 2, baselines, overhead, extensions) on the simulated
+// machine.
+//
+// Usage:
+//
+//	dcbench              # run every experiment
+//	dcbench -exp E8      # one experiment: E2 E4 E5 E8 E9 E10 E11 E12 E13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dualcube/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (E2, E4, E5, E8, E9, E10, E11, E12, E13, E14, E16, E17) or 'all'")
+	flag.Parse()
+
+	var out string
+	var err error
+	switch *exp {
+	case "all":
+		out, err = experiments.All()
+	case "E2":
+		out = experiments.E2Topology(8, 4)
+	case "E4":
+		out, err = experiments.E4Prefix(7)
+	case "E5":
+		out, err = experiments.E5CubePrefix(13)
+	case "E8":
+		out, err = experiments.E8Sort(6)
+	case "E9", "E10":
+		out, err = experiments.E9E10CubeSortAndOverhead(6)
+	case "E11":
+		out = experiments.E11Compare()
+	case "E12":
+		out, err = experiments.E12Large(3, []int{1, 4, 16, 64})
+	case "E13":
+		out, err = experiments.E13Collectives(7)
+	case "E14":
+		out, err = experiments.E14LinkLoads(5)
+	case "E16":
+		out, err = experiments.E16Emulation(5)
+	case "E17":
+		out, err = experiments.E17SampleSort(5, 16)
+	default:
+		fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Print(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+package dualcube_test
+
+import (
+	"fmt"
+
+	"dualcube"
+)
+
+// The smallest interesting dual-cube, D_2: eight nodes of degree two.
+func ExampleNew() {
+	nw, _ := dualcube.New(2)
+	fmt.Println("nodes:", nw.Nodes())
+	fmt.Println("degree:", nw.Degree())
+	fmt.Println("diameter:", nw.Diameter())
+	fmt.Println("neighbors of 0:", nw.Neighbors(0))
+	// Output:
+	// nodes: 8
+	// degree: 2
+	// diameter: 4
+	// neighbors of 0: [1 4]
+}
+
+// Prefix sums of one value per node in 2n communication steps.
+func ExamplePrefix() {
+	in := []int{1, 2, 3, 4, 5, 6, 7, 8} // D_2 has 8 nodes
+	sums, stats, _ := dualcube.Prefix(2, in)
+	fmt.Println(sums)
+	fmt.Println("steps:", stats.Cycles)
+	// Output:
+	// [1 3 6 10 15 21 28 36]
+	// steps: 4
+}
+
+// Non-commutative operators work because combines stay in element order.
+func ExamplePrefixFunc() {
+	in := []string{"d", "u", "a", "l", "c", "u", "b", "e"}
+	out, _, _ := dualcube.PrefixFunc(2, in,
+		func() string { return "" },
+		func(a, b string) string { return a + b },
+		true)
+	fmt.Println(out[7])
+	// Output:
+	// dualcube
+}
+
+// Bitonic sort on the dual-cube (Algorithm 3 of the paper).
+func ExampleSort() {
+	keys := []int{42, 7, 99, 1, 65, 13, 8, 27}
+	sorted, stats, _ := dualcube.Sort(2, keys, dualcube.Ascending)
+	fmt.Println(sorted)
+	fmt.Println("compare-exchange rounds:", stats.MaxOps)
+	// Output:
+	// [1 7 8 13 27 42 65 99]
+	// compare-exchange rounds: 6
+}
+
+// Broadcast reaches all 2^(2n-1) nodes in 2n steps, the network diameter.
+func ExampleBroadcast() {
+	got, stats, _ := dualcube.Broadcast(2, 3, "hello")
+	fmt.Println(got[0], got[7])
+	fmt.Println("steps:", stats.Cycles)
+	// Output:
+	// hello hello
+	// steps: 4
+}
+
+// Segmented scan restarts the running combination at each marked head.
+func ExamplePrefixSegmented() {
+	values := []int{1, 1, 1, 1, 1, 1, 1, 1}
+	heads := []bool{false, false, true, false, false, true, false, false}
+	out, _, _ := dualcube.PrefixSegmented(2, values, heads,
+		func() int { return 0 },
+		func(a, b int) int { return a + b })
+	fmt.Println(out)
+	// Output:
+	// [1 2 1 2 3 1 2 3]
+}
+
+// Any permutation routes obliviously at the cost of one sort.
+func ExamplePermute() {
+	dests := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	values := []int{10, 11, 12, 13, 14, 15, 16, 17}
+	out, _, _ := dualcube.Permute(2, dests, values)
+	fmt.Println(out)
+	// Output:
+	// [17 16 15 14 13 12 11 10]
+}
+
+// AllReduce delivers the in-order combination of every element to all
+// nodes.
+func ExampleAllReduce() {
+	parts := []string{"pre", "fix", " ", "com", "pu", "ta", "ti", "on"}
+	totals, _, _ := dualcube.AllReduce(2, parts,
+		func() string { return "" },
+		func(a, b string) string { return a + b })
+	fmt.Println(totals[0])
+	fmt.Println(totals[7] == totals[0])
+	// Output:
+	// prefix computation
+	// true
+}
+
+// SortLarge handles more keys than nodes with the same communication cost.
+func ExampleSortLarge() {
+	keys := []int{9, 2, 7, 4, 1, 8, 3, 6, 5, 0, 15, 12, 13, 10, 11, 14} // 2 per node on D_2
+	sorted, stats, _ := dualcube.SortLarge(2, 2, keys, dualcube.Ascending)
+	fmt.Println(sorted)
+	fmt.Println("steps:", stats.Cycles)
+	// Output:
+	// [0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15]
+	// steps: 12
+}
+
+// Gather collects the whole distributed sequence at one node in 2n steps.
+func ExampleGather() {
+	in := []int{0, 10, 20, 30, 40, 50, 60, 70}
+	atRoot, stats, _ := dualcube.Gather(2, 5, in)
+	fmt.Println(atRoot)
+	fmt.Println("steps:", stats.Cycles)
+	// Output:
+	// [0 10 20 30 40 50 60 70]
+	// steps: 4
+}
+
+// HamiltonianCycle returns a verified dilation-1 ring embedding.
+func ExampleHamiltonianCycle() {
+	nw, _ := dualcube.New(2)
+	ring, _ := dualcube.HamiltonianCycle(2)
+	fmt.Println("length:", len(ring))
+	ok := true
+	for i := range ring {
+		ok = ok && nw.HasEdge(ring[i], ring[(i+1)%len(ring)])
+	}
+	fmt.Println("all hops are links:", ok)
+	// Output:
+	// length: 8
+	// all hops are links: true
+}
+
+// SampleSort trades bitonic's Θ(n²) steps for 4n collective rounds.
+func ExampleSampleSort() {
+	keys := make([]int, 32) // 4 per node on D_2
+	for i := range keys {
+		keys[i] = (31 - i) * 3
+	}
+	sorted, stats, _ := dualcube.SampleSort(2, 4, keys)
+	fmt.Println(sorted[0], sorted[15], sorted[31])
+	fmt.Println("rounds:", stats.Cycles)
+	// Output:
+	// 0 45 93
+	// rounds: 8
+}

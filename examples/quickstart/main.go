@@ -1,0 +1,50 @@
+// Quickstart: build a dual-cube, inspect it, run a parallel prefix sum and
+// a distributed sort, and read back the costs the paper's theorems bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualcube"
+)
+
+func main() {
+	const n = 3 // D_3: 32 nodes, degree 3, diameter 6
+
+	nw, err := dualcube.New(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("D_%d: %d nodes, degree %d, diameter %d, clusters of %d nodes\n",
+		nw.Order(), nw.Nodes(), nw.Degree(), nw.Diameter(), nw.ClusterSize())
+	fmt.Printf("node 5: class %d, cluster %d, local %d, neighbors %v\n",
+		nw.Class(5), nw.ClusterID(5), nw.LocalID(5), nw.Neighbors(5))
+	fmt.Printf("shortest path 3 -> 28: %v (distance %d)\n\n", nw.Route(3, 28), nw.Distance(3, 28))
+
+	// Parallel prefix sums (Algorithm 2): one value per node.
+	in := make([]int, nw.Nodes())
+	for i := range in {
+		in[i] = i + 1
+	}
+	sums, st, err := dualcube.Prefix(n, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prefix sums of 1..%d: last = %d\n", nw.Nodes(), sums[len(sums)-1])
+	fmt.Printf("  communication steps: %d (Theorem 1: at most %d)\n", st.Cycles, 2*n+1)
+	fmt.Printf("  computation rounds:  %d (Theorem 1: at most %d)\n\n", st.MaxOps, 2*n)
+
+	// Distributed bitonic sort (Algorithm 3).
+	keys := make([]int, nw.Nodes())
+	for i := range keys {
+		keys[i] = (i*13 + 5) % nw.Nodes()
+	}
+	sorted, st2, err := dualcube.Sort(n, keys, dualcube.Ascending)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sorted %d keys: first=%d last=%d\n", len(sorted), sorted[0], sorted[len(sorted)-1])
+	fmt.Printf("  communication steps: %d (Theorem 2: at most %d)\n", st2.Cycles, 6*n*n)
+	fmt.Printf("  comparison rounds:   %d (Theorem 2: at most %d)\n", st2.MaxOps, 2*n*n)
+}

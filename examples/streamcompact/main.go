@@ -1,0 +1,69 @@
+// Stream compaction with a diminished (exclusive) prefix sum — the other
+// canonical scan application: every node holds one event and a keep/drop
+// flag; the exclusive prefix of the flags is exactly each kept event's
+// output position, so the compacted stream is produced with one parallel
+// prefix (2n steps) and no sequential pass.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dualcube"
+)
+
+type event struct {
+	ID       int
+	Severity int // 0..4; keep >= 3
+}
+
+func main() {
+	const order = 4 // D_4: 128 nodes, one event per node
+	nodes := 1 << (2*order - 1)
+
+	rng := rand.New(rand.NewSource(3))
+	events := make([]event, nodes)
+	flags := make([]int, nodes)
+	for i := range events {
+		events[i] = event{ID: i, Severity: rng.Intn(5)}
+		if events[i].Severity >= 3 {
+			flags[i] = 1
+		}
+	}
+
+	// Exclusive prefix of the flags = output index of each kept event.
+	pos, st, err := dualcube.PrefixFunc(order, flags,
+		func() int { return 0 },
+		func(a, b int) int { return a + b },
+		false /* diminished */)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kept := 0
+	for _, f := range flags {
+		kept += f
+	}
+	compact := make([]event, kept)
+	for i, ev := range events {
+		if flags[i] == 1 {
+			compact[pos[i]] = ev
+		}
+	}
+
+	// Validate: compacted stream preserves order and drops the rest.
+	j := 0
+	for _, ev := range events {
+		if ev.Severity >= 3 {
+			if compact[j] != ev {
+				log.Fatalf("compaction scrambled event %d", ev.ID)
+			}
+			j++
+		}
+	}
+	fmt.Printf("compacted %d events to %d high-severity events on D_%d\n", nodes, kept, order)
+	fmt.Printf("prefix ran in %d communication steps (%d messages)\n", st.Cycles, st.Messages)
+	fmt.Printf("first kept: ID %d (severity %d); last kept: ID %d (severity %d)\n",
+		compact[0].ID, compact[0].Severity, compact[kept-1].ID, compact[kept-1].Severity)
+}

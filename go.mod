@@ -1,0 +1,3 @@
+module dualcube
+
+go 1.22

@@ -1,0 +1,153 @@
+package collective
+
+import (
+	"fmt"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/monoid"
+	"dualcube/internal/topology"
+)
+
+// pkt is one personalized message in flight during AllToAll.
+type pkt[T any] struct {
+	src int // source element index
+	dst int // destination element index
+	val T
+}
+
+// AllToAll performs the total (all-to-all personalized) exchange: element
+// i sends the distinct value in[i][j] to element j, and out[j][i] = in[i][j]
+// — a distributed matrix transpose. It runs in 2n communication rounds
+// (each round one full-buffer exchange per node), using the same
+// four-phase skeleton as the other cluster-technique collectives:
+//
+//  1. n-1 in-cluster rounds of dimension-ordered routing: every item moves
+//     to the cluster member whose local index equals the destination's
+//     "other field" — the coordinate that becomes the cluster ID after a
+//     cross-edge hop;
+//  2. one cross-edge round carrying every item (the cross-edge permutation
+//     turns exit-locals into cluster IDs, landing each item in a cluster
+//     adjacent to its goal);
+//  3. n-1 more in-cluster rounds under the same key rule, which brings
+//     every item either home or to its destination's cross neighbor;
+//  4. one final cross-edge round delivering the remainder.
+//
+// Per-node buffers stay at N items throughout (the routing is perfectly
+// balanced for the full personalized exchange).
+func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
+	d, err := validate(n, len(in))
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	N := d.Nodes()
+	for i, row := range in {
+		if len(row) != N {
+			return nil, machine.Stats{}, fmt.Errorf("collective: in[%d] has %d entries, want %d", i, len(row), N)
+		}
+	}
+	m := d.ClusterDim()
+	fieldMask := d.ClusterSize() - 1
+
+	// key is the within-cluster routing target of an item at a node of the
+	// given class: the destination coordinate occupying this class's local
+	// field (part I for class 0, part II for class 1).
+	key := func(class int, dstNode topology.NodeID) int {
+		if class == 0 {
+			return dstNode & fieldMask
+		}
+		return dstNode >> (n - 1) & fieldMask
+	}
+
+	out := make([][]T, N)
+	for j := range out {
+		out[j] = make([]T, N)
+	}
+	eng := machine.New[[]pkt[T]](d, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[[]pkt[T]]) {
+		u := c.ID()
+		class := d.Class(u)
+		local := d.LocalID(u)
+		myIdx := d.DataIndex(u)
+
+		buf := make([]pkt[T], N)
+		for j := 0; j < N; j++ {
+			buf[j] = pkt[T]{src: myIdx, dst: j, val: in[myIdx][j]}
+		}
+		dstNode := func(p pkt[T]) topology.NodeID { return d.NodeAtDataIndex(p.dst) }
+
+		// clusterRoute performs the m dimension-ordered routing rounds.
+		clusterRoute := func() {
+			for i := 0; i < m; i++ {
+				keep := buf[:0]
+				var send []pkt[T]
+				for _, p := range buf {
+					if key(class, dstNode(p))&(1<<i) != local&(1<<i) {
+						send = append(send, p)
+					} else {
+						keep = append(keep, p)
+					}
+				}
+				got := c.Exchange(d.ClusterNeighbor(u, i), send)
+				buf = append(keep, got...)
+				c.Ops(1)
+			}
+		}
+
+		clusterRoute()                            // phase 1
+		buf = c.Exchange(d.CrossNeighbor(u), buf) // phase 2
+		clusterRoute()                            // phase 3
+		keep := make([]pkt[T], 0, len(buf))       // phase 4
+		var send []pkt[T]
+		for _, p := range buf {
+			switch dstNode(p) {
+			case u:
+				keep = append(keep, p)
+			case d.CrossNeighbor(u):
+				send = append(send, p)
+			default:
+				panic(fmt.Sprintf("collective: all-to-all item (%d->%d) stranded at node %d", p.src, p.dst, u))
+			}
+		}
+		got := c.Exchange(d.CrossNeighbor(u), send)
+		buf = append(keep, got...)
+
+		if len(buf) != N {
+			panic(fmt.Sprintf("collective: node %d received %d of %d items", u, len(buf), N))
+		}
+		row := out[myIdx]
+		for _, p := range buf {
+			if p.dst != myIdx {
+				panic(fmt.Sprintf("collective: node %d holds foreign item for %d", u, p.dst))
+			}
+			row[p.src] = p.val
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// ReduceScatter combines the element-wise contributions of all nodes and
+// leaves each node with its own combined element: out[j] = in[0][j] ⊕
+// in[1][j] ⊕ ... ⊕ in[N-1][j], combined in source order. Implemented as a
+// total exchange (2n rounds) followed by a local reduction round; on a
+// machine with wormhole combining one could fold en route, but the round
+// count — which is what the paper's model prices — is the same.
+func ReduceScatter[T any](n int, in [][]T, m monoid.Monoid[T]) ([]T, machine.Stats, error) {
+	trans, st, err := AllToAll(n, in)
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]T, len(trans))
+	for j, row := range trans {
+		acc := m.Identity()
+		for _, v := range row {
+			acc = m.Combine(acc, v)
+		}
+		out[j] = acc
+	}
+	st.MaxOps++
+	st.TotalOps += int64(len(trans))
+	return out, st, nil
+}

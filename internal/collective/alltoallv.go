@@ -1,0 +1,111 @@
+package collective
+
+import (
+	"fmt"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// vpkt is one variable-size personalized bundle in flight during AllToAllV.
+type vpkt[T any] struct {
+	src  int // source element index
+	dst  int // destination element index
+	vals []T
+}
+
+// AllToAllV is the variable-size total exchange: element i sends the slice
+// in[i][j] (possibly empty) to element j, and out[j][i] = in[i][j]. The
+// routing is identical to AllToAll — the same 2n dimension-ordered rounds
+// of the cluster technique — only the payloads differ in size, so the
+// communication ROUNDS stay 2n while per-round volumes follow the data.
+// This is the exchange primitive bucket-based algorithms (sample sort,
+// radix partitioning) need.
+func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
+	d, err := validate(n, len(in))
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	N := d.Nodes()
+	for i, row := range in {
+		if len(row) != N {
+			return nil, machine.Stats{}, fmt.Errorf("collective: in[%d] has %d entries, want %d", i, len(row), N)
+		}
+	}
+	m := d.ClusterDim()
+	fieldMask := d.ClusterSize() - 1
+	key := func(class int, dstNode topology.NodeID) int {
+		if class == 0 {
+			return dstNode & fieldMask
+		}
+		return dstNode >> (n - 1) & fieldMask
+	}
+
+	out := make([][][]T, N)
+	for j := range out {
+		out[j] = make([][]T, N)
+	}
+	eng := machine.New[[]vpkt[T]](d, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[[]vpkt[T]]) {
+		u := c.ID()
+		class := d.Class(u)
+		local := d.LocalID(u)
+		myIdx := d.DataIndex(u)
+
+		buf := make([]vpkt[T], 0, N)
+		for j := 0; j < N; j++ {
+			buf = append(buf, vpkt[T]{src: myIdx, dst: j, vals: in[myIdx][j]})
+		}
+		dstNode := func(p vpkt[T]) topology.NodeID { return d.NodeAtDataIndex(p.dst) }
+
+		clusterRoute := func() {
+			for i := 0; i < m; i++ {
+				keep := buf[:0]
+				var send []vpkt[T]
+				for _, p := range buf {
+					if key(class, dstNode(p))&(1<<i) != local&(1<<i) {
+						send = append(send, p)
+					} else {
+						keep = append(keep, p)
+					}
+				}
+				got := c.Exchange(d.ClusterNeighbor(u, i), send)
+				buf = append(keep, got...)
+				c.Ops(1)
+			}
+		}
+
+		clusterRoute()                            // phase 1
+		buf = c.Exchange(d.CrossNeighbor(u), buf) // phase 2
+		clusterRoute()                            // phase 3
+		keep := make([]vpkt[T], 0, len(buf))      // phase 4
+		var send []vpkt[T]
+		for _, p := range buf {
+			switch dstNode(p) {
+			case u:
+				keep = append(keep, p)
+			case d.CrossNeighbor(u):
+				send = append(send, p)
+			default:
+				panic(fmt.Sprintf("collective: all-to-all-v bundle (%d->%d) stranded at node %d", p.src, p.dst, u))
+			}
+		}
+		got := c.Exchange(d.CrossNeighbor(u), send)
+		buf = append(keep, got...)
+
+		if len(buf) != N {
+			panic(fmt.Sprintf("collective: node %d received %d of %d bundles", u, len(buf), N))
+		}
+		row := out[myIdx]
+		for _, p := range buf {
+			if p.dst != myIdx {
+				panic(fmt.Sprintf("collective: node %d holds foreign bundle for %d", u, p.dst))
+			}
+			row[p.src] = p.vals
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}

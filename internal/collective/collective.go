@@ -1,0 +1,256 @@
+// Package collective implements collective communication operations on the
+// dual-cube using the paper's cluster technique (Section 3 and the authors'
+// companion work on efficient collective communications in dual-cube, cited
+// as reference [7]; developing such algorithms is future-work item 3).
+//
+// All operations follow the same four-phase skeleton that makes D_prefix
+// optimal: work inside clusters (n-1 steps), hop the cross-edges (1 step),
+// work inside the clusters of the other class (n-1 steps), hop back
+// (1 step) — 2n communication steps in total, matching the diameter 2n of
+// D_n, so each collective is asymptotically optimal.
+package collective
+
+import (
+	"fmt"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/monoid"
+	"dualcube/internal/topology"
+)
+
+// validate constructs D_n and checks the value-slice length.
+func validate(n, lenIn int) (*topology.DualCube, error) {
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return nil, err
+	}
+	if lenIn != d.Nodes() {
+		return nil, fmt.Errorf("collective: input length %d != %d nodes of %s", lenIn, d.Nodes(), d.Name())
+	}
+	return d, nil
+}
+
+// Broadcast distributes value from node root to every node of D_n in 2n
+// communication steps:
+//
+//  1. binomial-tree flood inside root's cluster (n-1 steps);
+//  2. the whole cluster hops its cross-edges — because the cross-edges of
+//     one cluster land in 2^(n-1) distinct clusters of the other class,
+//     every opposite-class cluster now holds the value at exactly one node
+//     (local index = root's cluster-mate position);
+//  3. flood inside every cluster of the other class (n-1 steps);
+//  4. one more cross-edge hop — the cross neighbors of the other class
+//     cover every node of root's class — delivering the value everywhere.
+//
+// The returned slice is indexed by node ID.
+func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats, error) {
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if root < 0 || root >= d.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
+	}
+	m := d.ClusterDim()
+	rootClass := d.Class(root)
+	rootCluster := d.ClusterID(root)
+	rootLocal := d.LocalID(root)
+
+	out := make([]T, d.Nodes())
+	eng := machine.New[T](d, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[T]) {
+		u := c.ID()
+		class, local := d.Class(u), d.LocalID(u)
+		var v T
+		have := u == root
+		if have {
+			v = value
+		}
+
+		// Phase 1: flood root's cluster. At step i, holders are the nodes of
+		// root's cluster whose local ID matches rootLocal on bits >= i; each
+		// holder sends along dimension i to the node differing at bit i.
+		inRootCluster := class == rootClass && d.ClusterID(u) == rootCluster
+		for i := 0; i < m; i++ {
+			if inRootCluster {
+				mask := ^((1 << (i + 1)) - 1) // bits above i
+				partner := d.ClusterNeighbor(u, i)
+				if have && local&(1<<i) == rootLocal&(1<<i) {
+					c.Send(partner, v)
+				} else if !have && local&mask == rootLocal&mask {
+					v = c.Recv(partner)
+					have = true
+				} else {
+					c.Idle()
+				}
+			} else {
+				c.Idle()
+			}
+		}
+
+		// Phase 2: root's cluster crosses over. The cross image of root's
+		// cluster is one node in every opposite-class cluster, namely the
+		// node whose local ID equals root's cluster ID (the cross-edge
+		// swaps the roles of the two address fields).
+		if inRootCluster {
+			c.Send(d.CrossNeighbor(u), v)
+		} else if class != rootClass && local == rootCluster {
+			v = c.Recv(d.CrossNeighbor(u))
+			have = true
+		} else {
+			c.Idle()
+		}
+
+		// Phase 3: flood every cluster of the other class from its seed,
+		// which sits at local index rootCluster in each of them.
+		if class != rootClass {
+			seedLocal := rootCluster
+			for i := 0; i < m; i++ {
+				mask := ^((1 << (i + 1)) - 1)
+				partner := d.ClusterNeighbor(u, i)
+				if have && local&(1<<i) == seedLocal&(1<<i) {
+					c.Send(partner, v)
+				} else if !have && local&mask == seedLocal&mask {
+					v = c.Recv(partner)
+					have = true
+				} else {
+					c.Idle()
+				}
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				c.Idle()
+			}
+		}
+
+		// Phase 4: the other class crosses back, covering every node of
+		// root's class (including root's own cluster, which already has the
+		// value — those sends are received and discarded to keep the links
+		// clean and the schedule uniform).
+		if class != rootClass {
+			c.Send(d.CrossNeighbor(u), v)
+		} else {
+			w := c.Recv(d.CrossNeighbor(u))
+			if !have {
+				v = w
+				have = true
+			}
+		}
+
+		if !have {
+			panic(fmt.Sprintf("collective: node %d did not receive the broadcast", u))
+		}
+		out[u] = v
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// AllReduce combines every node's value with ⊕ and delivers the total to
+// all nodes in 2n communication steps: recursive-doubling all-reduce inside
+// each cluster (n-1 steps), cross-edge exchange of the cluster totals
+// (1 step), all-reduce of those totals inside the clusters of the other
+// class — yielding the opposite class's grand total everywhere (n-1
+// steps) — and a final cross-edge exchange so every node can combine both
+// class totals (1 step).
+//
+// Values are combined in deterministic element order (class-0 elements
+// before class-1, clusters in index order), so non-commutative monoids
+// receive the in-order reduction of the block data layout.
+func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, error) {
+	d, err := validate(n, len(in))
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	mdim := d.ClusterDim()
+	out := make([]T, d.Nodes())
+	eng := machine.New[T](d, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[T]) {
+		u := c.ID()
+		local := d.LocalID(u)
+		// t: ordered all-reduce within the cluster (order = local index,
+		// which is element order within the block).
+		t := in[d.DataIndex(u)]
+		for i := 0; i < mdim; i++ {
+			temp := c.Exchange(d.ClusterNeighbor(u, i), t)
+			if local&(1<<i) != 0 {
+				t = m.Combine(temp, t)
+			} else {
+				t = m.Combine(t, temp)
+			}
+			c.Ops(1)
+		}
+		// Cross totals, then all-reduce them in cluster-index order.
+		t2 := c.Exchange(d.CrossNeighbor(u), t)
+		for i := 0; i < mdim; i++ {
+			temp := c.Exchange(d.ClusterNeighbor(u, i), t2)
+			if local&(1<<i) != 0 {
+				t2 = m.Combine(temp, t2)
+			} else {
+				t2 = m.Combine(t2, temp)
+			}
+			c.Ops(1)
+		}
+		// t2 is now the grand total of the OTHER class. Swap grand totals
+		// across the cross-edge and combine in class order.
+		other := c.Exchange(d.CrossNeighbor(u), t2)
+		// At a class-0 node: t2 = total(class 1), other = total(class 0).
+		// At a class-1 node: t2 = total(class 0), other = total(class 1).
+		if d.Class(u) == 0 {
+			out[u] = m.Combine(other, t2)
+		} else {
+			out[u] = m.Combine(t2, other)
+		}
+		c.Ops(1)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// Reduce combines every node's value in element order and returns the
+// result as seen by root. It runs AllReduce and projects — the dual-cube
+// communication cost is the same 2n steps either way, matching the
+// network's diameter.
+func Reduce[T any](n int, root topology.NodeID, in []T, m monoid.Monoid[T]) (T, machine.Stats, error) {
+	var zero T
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return zero, machine.Stats{}, err
+	}
+	if root < 0 || root >= d.Nodes() {
+		return zero, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
+	}
+	all, st, err := AllReduce(n, in, m)
+	if err != nil {
+		return zero, st, err
+	}
+	return all[root], st, nil
+}
+
+// Barrier synchronizes all nodes: it completes only after every node has
+// entered it. Implemented as an all-reduce of units; returns the machine
+// statistics (2n communication steps).
+func Barrier(n int) (machine.Stats, error) {
+	N := nodesOf(n)
+	in := make([]struct{}, N)
+	unit := monoid.Monoid[struct{}]{
+		Name:     "unit",
+		Identity: func() struct{} { return struct{}{} },
+		Combine:  func(a, b struct{}) struct{} { return struct{}{} },
+	}
+	_, st, err := AllReduce(n, in, unit)
+	return st, err
+}
+
+// nodesOf returns 2^(2n-1) without constructing the topology (callers
+// validate n separately).
+func nodesOf(n int) int {
+	if n < 1 || n > topology.MaxDualCubeOrder {
+		return -1
+	}
+	return 1 << (2*n - 1)
+}

@@ -1,0 +1,281 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualcube/internal/monoid"
+	"dualcube/internal/seq"
+)
+
+func TestBroadcastAllRoots(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		N := 1 << (2*n - 1)
+		for root := 0; root < N; root++ {
+			got, st, err := Broadcast(n, root, 1000+root)
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			for u, v := range got {
+				if v != 1000+root {
+					t.Fatalf("n=%d root=%d: node %d got %d", n, root, u, v)
+				}
+			}
+			if st.Cycles != 2*n {
+				t.Errorf("n=%d root=%d: comm %d, want %d (diameter)", n, root, st.Cycles, 2*n)
+			}
+		}
+	}
+}
+
+func TestBroadcastLargerNetwork(t *testing.T) {
+	n := 6
+	N := 1 << (2*n - 1)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		root := rng.Intn(N)
+		got, st, err := Broadcast(n, root, "payload")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, v := range got {
+			if v != "payload" {
+				t.Fatalf("node %d missed broadcast", u)
+			}
+		}
+		if st.Cycles != 2*n {
+			t.Errorf("comm %d, want %d", st.Cycles, 2*n)
+		}
+	}
+}
+
+func TestBroadcastBadArgs(t *testing.T) {
+	if _, _, err := Broadcast(0, 0, 1); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if _, _, err := Broadcast(2, -1, 1); err == nil {
+		t.Error("negative root should fail")
+	}
+	if _, _, err := Broadcast(2, 8, 1); err == nil {
+		t.Error("out-of-range root should fail")
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 5; n++ {
+		N := 1 << (2*n - 1)
+		in := make([]int, N)
+		total := 0
+		for i := range in {
+			in[i] = rng.Intn(100) - 50
+			total += in[i]
+		}
+		got, st, err := AllReduce(n, in, monoid.Sum[int]())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for u, v := range got {
+			if v != total {
+				t.Fatalf("n=%d: node %d has %d, want %d", n, u, v, total)
+			}
+		}
+		if st.Cycles != 2*n {
+			t.Errorf("n=%d: comm %d, want %d", n, st.Cycles, 2*n)
+		}
+	}
+}
+
+func TestAllReduceNonCommutativeOrder(t *testing.T) {
+	// Concatenation all-reduce must produce the in-order concatenation of
+	// the element sequence on every node.
+	for n := 1; n <= 3; n++ {
+		N := 1 << (2*n - 1)
+		in := make([]string, N)
+		for i := range in {
+			in[i] = string(rune('a' + i%26))
+		}
+		want := seq.Reduce(in, monoid.Concat())
+		got, _, err := AllReduce(n, in, monoid.Concat())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, v := range got {
+			if v != want {
+				t.Fatalf("n=%d node %d: %q, want %q", n, u, v, want)
+			}
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	n := 3
+	N := 1 << (2*n - 1)
+	in := make([]int, N)
+	for i := range in {
+		in[i] = (i * 7) % N
+	}
+	got, _, err := AllReduce(n, in, monoid.MaxInt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Reduce(in, monoid.MaxInt())
+	for _, v := range got {
+		if v != want {
+			t.Fatalf("max allreduce: %d, want %d", v, want)
+		}
+	}
+}
+
+func TestAllReduceBadArgs(t *testing.T) {
+	if _, _, err := AllReduce(2, make([]int, 3), monoid.Sum[int]()); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := AllReduce(0, nil, monoid.Sum[int]()); err == nil {
+		t.Error("order 0 should fail")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	n := 2
+	N := 1 << (2*n - 1)
+	in := make([]int, N)
+	for i := range in {
+		in[i] = i * i
+	}
+	want := seq.Reduce(in, monoid.Sum[int]())
+	for root := 0; root < N; root++ {
+		got, _, err := Reduce(n, root, in, monoid.Sum[int]())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("root %d: %d, want %d", root, got, want)
+		}
+	}
+	if _, _, err := Reduce(2, 99, in, monoid.Sum[int]()); err == nil {
+		t.Error("bad root should fail")
+	}
+	if _, _, err := Reduce(0, 0, nil, monoid.Sum[int]()); err == nil {
+		t.Error("order 0 should fail")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		st, err := Barrier(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if st.Cycles != 2*n {
+			t.Errorf("n=%d: barrier comm %d, want %d", n, st.Cycles, 2*n)
+		}
+	}
+}
+
+func TestGatherAllRoots(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		N := 1 << (2*n - 1)
+		in := make([]int, N)
+		for i := range in {
+			in[i] = i*10 + 7
+		}
+		for root := 0; root < N; root++ {
+			got, st, err := Gather(n, root, in)
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			for i := range in {
+				if got[i] != in[i] {
+					t.Fatalf("n=%d root=%d: element %d = %d, want %d", n, root, i, got[i], in[i])
+				}
+			}
+			if st.Cycles != 2*n {
+				t.Errorf("n=%d root=%d: comm %d, want %d", n, root, st.Cycles, 2*n)
+			}
+		}
+	}
+}
+
+func TestGatherLarger(t *testing.T) {
+	n := 5
+	N := 1 << (2*n - 1)
+	in := make([]int, N)
+	rng := rand.New(rand.NewSource(3))
+	for i := range in {
+		in[i] = rng.Int()
+	}
+	got, st, err := Gather(n, 13, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("element %d mismatched", i)
+		}
+	}
+	if st.Cycles != 2*n {
+		t.Errorf("comm %d, want %d", st.Cycles, 2*n)
+	}
+}
+
+func TestGatherBadArgs(t *testing.T) {
+	if _, _, err := Gather(2, 0, make([]int, 3)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := Gather(2, -2, make([]int, 8)); err == nil {
+		t.Error("bad root should fail")
+	}
+	if _, _, err := Gather[int](0, 0, nil); err == nil {
+		t.Error("order 0 should fail")
+	}
+}
+
+func TestMergeItems(t *testing.T) {
+	a := []item[string]{{0, "a"}, {2, "c"}}
+	b := []item[string]{{1, "b"}, {3, "d"}}
+	got := mergeItems(a, b)
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if got[i].idx != i || got[i].val != want {
+			t.Fatalf("mergeItems = %v", got)
+		}
+	}
+	if len(mergeItems[string](nil, nil)) != 0 {
+		t.Error("empty merge should be empty")
+	}
+}
+
+func TestCollectiveQuick(t *testing.T) {
+	f := func(nSeed, rootSeed uint8, seed int64) bool {
+		n := int(nSeed)%3 + 1
+		N := 1 << (2*n - 1)
+		root := int(rootSeed) % N
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]int, N)
+		for i := range in {
+			in[i] = rng.Intn(1000)
+		}
+		all, _, err := AllReduce(n, in, monoid.Sum[int]())
+		if err != nil {
+			return false
+		}
+		want := seq.Reduce(in, monoid.Sum[int]())
+		if all[root] != want {
+			return false
+		}
+		g, _, err := Gather(n, root, in)
+		if err != nil {
+			return false
+		}
+		for i := range in {
+			if g[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

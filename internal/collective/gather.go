@@ -1,0 +1,170 @@
+package collective
+
+import (
+	"fmt"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// item is one element in flight during a gather: its global element index
+// (block data layout) and its value.
+type item[T any] struct {
+	idx int
+	val T
+}
+
+// mergeItems merges two index-sorted bundles into one.
+func mergeItems[T any](a, b []item[T]) []item[T] {
+	out := make([]item[T], 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].idx <= b[j].idx {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Gather collects every node's value to root, returned in element order
+// (the block data layout: in[DataIndex(u)] is node u's value). Like the
+// other collectives it uses the cluster technique and takes exactly 2n
+// communication steps — the diameter of D_n:
+//
+//  1. every cluster binomial-gathers its block to a collector node
+//     (clusters of root's class collect at local index = root's local
+//     index; the other class at local index = root's cluster ID), n-1
+//     steps;
+//  2. all collectors hop their cross-edges, which lands every bundle of
+//     root's class in one designated opposite-class cluster, and every
+//     opposite-class bundle in root's own cluster, 1 step;
+//  3. those two clusters binomial-gather the bundles (concurrently; they
+//     are disjoint), n-1 steps: root now holds the whole opposite class,
+//     and root's cross neighbor holds the whole of root's class;
+//  4. root's cross neighbor hands its mega-bundle across, 1 step.
+func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, error) {
+	d, err := validate(n, len(in))
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if root < 0 || root >= d.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
+	}
+	m := d.ClusterDim()
+	rootClass := d.Class(root)
+	rootCluster := d.ClusterID(root)
+	rootLocal := d.LocalID(root)
+
+	out := make([]T, d.Nodes())
+	eng := machine.New[[]item[T]](d, machine.Config{LinkCapacity: 4})
+	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
+		u := c.ID()
+		class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
+		// The collector position inside this node's cluster.
+		target := rootLocal
+		if class != rootClass {
+			target = rootCluster
+		}
+		bundle := []item[T]{{idx: d.DataIndex(u), val: in[d.DataIndex(u)]}}
+
+		// Phase 1: binomial gather of the cluster block toward target
+		// (reverse flood, dimensions m-1 down to 0).
+		gatherRound := func(i, tgt int) {
+			maskAbove := ^((1 << (i + 1)) - 1)
+			if local&maskAbove != tgt&maskAbove {
+				c.Idle() // already out of the collection tree at this level
+				return
+			}
+			partner := d.ClusterNeighbor(u, i)
+			if local&(1<<i) != tgt&(1<<i) {
+				c.Send(partner, bundle)
+				bundle = nil
+			} else {
+				recv := c.Recv(partner)
+				bundle = mergeItems(bundle, recv)
+				c.Ops(1)
+			}
+		}
+		for i := m - 1; i >= 0; i-- {
+			gatherRound(i, target)
+		}
+
+		// Phase 2: collectors hop their cross-edges. Receivers are the
+		// cross images: in the opposite class the nodes with local index
+		// rootLocal inside... precisely, a node receives iff its cross
+		// neighbor is a collector of its own cluster.
+		cross := d.CrossNeighbor(u)
+		isCollector := local == target && bundle != nil
+		crossIsCollector := func() bool {
+			cc, cl := d.Class(cross), d.LocalID(cross)
+			t := rootLocal
+			if cc != rootClass {
+				t = rootCluster
+			}
+			return cl == t
+		}()
+		switch {
+		case isCollector && crossIsCollector:
+			recv := c.SendRecv(cross, bundle, cross)
+			bundle = recv
+			c.Ops(1)
+		case isCollector:
+			c.Send(cross, bundle)
+			bundle = nil
+		case crossIsCollector:
+			bundle = c.Recv(cross)
+		default:
+			c.Idle()
+		}
+
+		// Phase 3: two clusters gather the phase-2 bundles concurrently:
+		// root's cluster (toward root) and the opposite-class cluster with
+		// ID rootLocal's counterpart (toward root's cross neighbor).
+		inRootCluster := class == rootClass && cluster == rootCluster
+		inMirrorCluster := class != rootClass && cluster == rootLocal
+		if inRootCluster || inMirrorCluster {
+			tgt := rootLocal
+			if inMirrorCluster {
+				tgt = rootCluster
+			}
+			for i := m - 1; i >= 0; i-- {
+				gatherRound(i, tgt)
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				c.Idle()
+			}
+		}
+
+		// Phase 4: root's cross neighbor delivers the mega-bundle.
+		switch u {
+		case d.CrossNeighbor(root):
+			c.Send(cross, bundle)
+			bundle = nil
+		case root:
+			recv := c.Recv(cross)
+			bundle = mergeItems(bundle, recv)
+			c.Ops(1)
+		default:
+			c.Idle()
+		}
+
+		if u == root {
+			if len(bundle) != d.Nodes() {
+				panic(fmt.Sprintf("collective: gather delivered %d of %d items", len(bundle), d.Nodes()))
+			}
+			for _, it := range bundle {
+				out[it.idx] = it.val
+			}
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}

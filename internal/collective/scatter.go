@@ -1,0 +1,210 @@
+package collective
+
+import (
+	"fmt"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// partitionItems splits a bundle by a predicate, preserving order.
+func partitionItems[T any](b []item[T], keep func(item[T]) bool) (kept, sent []item[T]) {
+	for _, it := range b {
+		if keep(it) {
+			kept = append(kept, it)
+		} else {
+			sent = append(sent, it)
+		}
+	}
+	return kept, sent
+}
+
+// Scatter is the exact mirror of Gather: root starts with all N elements
+// in element order and every node ends with its own element (in[idx] lands
+// on NodeAtDataIndex(idx)). 2n communication steps:
+//
+//  1. root keeps the opposite class's elements and hands its own class's
+//     elements across the cross-edge (1 step);
+//  2. root's cluster splits the opposite-class elements by destination
+//     cluster while the mirror cluster splits root's class likewise
+//     (binomial tree, n-1 steps);
+//  3. both clusters push each destination cluster's block over the
+//     cross-edges to that cluster's seed (1 step);
+//  4. every cluster splits its block down to single elements (n-1 steps).
+//
+// The returned slice is indexed by node ID with each node's own element.
+func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, error) {
+	d, err := validate(n, len(in))
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if root < 0 || root >= d.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
+	}
+	m := d.ClusterDim()
+	rootClass := d.Class(root)
+	rootCluster := d.ClusterID(root)
+	rootLocal := d.LocalID(root)
+
+	out := make([]T, d.Nodes())
+	eng := machine.New[[]item[T]](d, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
+		u := c.ID()
+		class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
+		cross := d.CrossNeighbor(u)
+
+		var bundle []item[T]
+		if u == root {
+			bundle = make([]item[T], len(in))
+			for idx, v := range in {
+				bundle[idx] = item[T]{idx: idx, val: v}
+			}
+		}
+		destNode := func(it item[T]) topology.NodeID { return d.NodeAtDataIndex(it.idx) }
+
+		// Phase 1: root keeps the opposite class, exports its own class.
+		switch u {
+		case root:
+			keep, send := partitionItems(bundle, func(it item[T]) bool {
+				return d.Class(destNode(it)) != rootClass
+			})
+			c.Send(cross, send)
+			bundle = keep
+		case d.CrossNeighbor(root):
+			bundle = c.Recv(cross)
+		default:
+			c.Idle()
+		}
+
+		// Phase 2: split by destination cluster inside root's cluster and
+		// the mirror cluster (flood with splitting: seed locals are
+		// rootLocal and rootCluster respectively, and the responsible
+		// member for a destination cluster x is the member with local x).
+		inRootCluster := class == rootClass && cluster == rootCluster
+		inMirrorCluster := class != rootClass && cluster == rootLocal
+		// splitRound is one level of the fan-out tree: dimensions ascend, and
+		// at level i the active subtree is the set of locals matching the
+		// seed on bits above i (the holders halve their bundles toward the
+		// bit-i partner). This is the exact reverse of Gather's fan-in.
+		splitRound := func(i, seed int, key func(item[T]) int) {
+			maskAbove := ^((1 << (i + 1)) - 1)
+			if local&maskAbove != seed&maskAbove {
+				c.Idle() // this subtree receives its share in a later round
+				return
+			}
+			partner := d.ClusterNeighbor(u, i)
+			if local&(1<<i) == seed&(1<<i) {
+				// Holder: keep items whose key matches this side of bit i.
+				keep, send := partitionItems(bundle, func(it item[T]) bool {
+					return key(it)&(1<<i) == local&(1<<i)
+				})
+				c.Send(partner, send)
+				bundle = keep
+			} else {
+				bundle = c.Recv(partner)
+			}
+		}
+		clusterKey := func(it item[T]) int { return d.ClusterID(destNode(it)) }
+		if inRootCluster {
+			for i := 0; i < m; i++ {
+				splitRound(i, rootLocal, clusterKey)
+			}
+		} else if inMirrorCluster {
+			for i := 0; i < m; i++ {
+				splitRound(i, rootCluster, clusterKey)
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				c.Idle()
+			}
+		}
+
+		// Phase 3: hand each destination cluster's block to its seed over
+		// the cross-edges. Receivers are the seeds: local == rootCluster in
+		// the class opposite root, local == rootLocal in root's class.
+		isSeed := (class == rootClass && local == rootLocal) ||
+			(class != rootClass && local == rootCluster)
+		isSender := inRootCluster || inMirrorCluster
+		switch {
+		case isSender && isSeed:
+			bundle = c.SendRecv(cross, bundle, cross)
+		case isSender:
+			c.Send(cross, bundle)
+			bundle = nil
+		case isSeed:
+			bundle = c.Recv(cross)
+		default:
+			c.Idle()
+		}
+
+		// Phase 4: every cluster splits its block from its seed down to
+		// single elements.
+		seed := rootLocal
+		if class != rootClass {
+			seed = rootCluster
+		}
+		localKey := func(it item[T]) int { return d.LocalID(destNode(it)) }
+		for i := 0; i < m; i++ {
+			splitRound(i, seed, localKey)
+		}
+
+		if len(bundle) != 1 || destNode(bundle[0]) != u {
+			panic(fmt.Sprintf("collective: scatter delivered %d item(s) to node %d", len(bundle), u))
+		}
+		out[u] = bundle[0].val
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// AllGather delivers every node's element to every node (in element
+// order), in 2n communication steps: in-cluster all-gather (n-1 steps,
+// bundles doubling), cross-edge block exchange (1), in-cluster all-gather
+// of the received blocks — after which each node holds the entire opposite
+// class (n-1 steps) — and a final cross-edge swap of the class halves (1).
+func AllGather[T any](n int, in []T) ([][]T, machine.Stats, error) {
+	d, err := validate(n, len(in))
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	m := d.ClusterDim()
+	out := make([][]T, d.Nodes())
+	eng := machine.New[[]item[T]](d, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
+		u := c.ID()
+		idx := d.DataIndex(u)
+		bundle := []item[T]{{idx: idx, val: in[idx]}}
+
+		// Phase 1: all-gather the block within the cluster.
+		for i := 0; i < m; i++ {
+			got := c.Exchange(d.ClusterNeighbor(u, i), bundle)
+			bundle = mergeItems(bundle, got)
+			c.Ops(1)
+		}
+		// Phase 2: swap blocks over the cross-edge.
+		other := c.Exchange(d.CrossNeighbor(u), bundle)
+		// Phase 3: all-gather the received blocks — every node of the
+		// cluster ends with the complete opposite class.
+		for i := 0; i < m; i++ {
+			got := c.Exchange(d.ClusterNeighbor(u, i), other)
+			other = mergeItems(other, got)
+			c.Ops(1)
+		}
+		// Phase 4: swap class halves; the union is the whole sequence.
+		own := c.Exchange(d.CrossNeighbor(u), other)
+		all := mergeItems(own, other)
+		c.Ops(1)
+
+		res := make([]T, d.Nodes())
+		for _, it := range all {
+			res[it.idx] = it.val
+		}
+		out[u] = res
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}

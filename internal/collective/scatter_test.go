@@ -1,0 +1,165 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScatterAllRoots(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		N := 1 << (2*n - 1)
+		d, _ := validate(n, N)
+		in := make([]int, N)
+		for i := range in {
+			in[i] = i*100 + 1
+		}
+		for root := 0; root < N; root++ {
+			got, st, err := Scatter(n, root, in)
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			for u := 0; u < N; u++ {
+				if want := in[d.DataIndex(u)]; got[u] != want {
+					t.Fatalf("n=%d root=%d: node %d got %d, want %d", n, root, u, got[u], want)
+				}
+			}
+			if st.Cycles != 2*n {
+				t.Errorf("n=%d root=%d: comm %d, want %d", n, root, st.Cycles, 2*n)
+			}
+		}
+	}
+}
+
+func TestScatterLarger(t *testing.T) {
+	n := 5
+	N := 1 << (2*n - 1)
+	d, _ := validate(n, N)
+	rng := rand.New(rand.NewSource(1))
+	in := make([]int, N)
+	for i := range in {
+		in[i] = rng.Int()
+	}
+	got, st, err := Scatter(n, 77, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < N; u++ {
+		if got[u] != in[d.DataIndex(u)] {
+			t.Fatalf("node %d wrong", u)
+		}
+	}
+	if st.Cycles != 2*n {
+		t.Errorf("comm %d, want %d", st.Cycles, 2*n)
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	// Gather(Scatter(x)) == x from any pair of roots.
+	n := 2
+	N := 1 << (2*n - 1)
+	in := []int{10, 20, 30, 40, 50, 60, 70, 80}
+	d, _ := validate(n, N)
+	scattered, _, err := Scatter(n, 3, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convert node-indexed values back to element order for Gather's input
+	// convention (in[DataIndex(u)] is node u's value).
+	elem := make([]int, N)
+	for u := 0; u < N; u++ {
+		elem[d.DataIndex(u)] = scattered[u]
+	}
+	back, _, err := Gather(n, 6, elem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("round trip broke element %d", i)
+		}
+	}
+}
+
+func TestScatterBadArgs(t *testing.T) {
+	if _, _, err := Scatter(2, 0, make([]int, 3)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := Scatter(2, 64, make([]int, 8)); err == nil {
+		t.Error("bad root should fail")
+	}
+	if _, _, err := Scatter[int](0, 0, nil); err == nil {
+		t.Error("order 0 should fail")
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		N := 1 << (2*n - 1)
+		in := make([]int, N)
+		for i := range in {
+			in[i] = i + 1000
+		}
+		got, st, err := AllGather(n, in)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for u := 0; u < N; u++ {
+			if len(got[u]) != N {
+				t.Fatalf("n=%d: node %d has %d elements", n, u, len(got[u]))
+			}
+			for i := range in {
+				if got[u][i] != in[i] {
+					t.Fatalf("n=%d: node %d element %d = %d", n, u, i, got[u][i])
+				}
+			}
+		}
+		if st.Cycles != 2*n {
+			t.Errorf("n=%d: comm %d, want %d", n, st.Cycles, 2*n)
+		}
+	}
+}
+
+func TestAllGatherBadArgs(t *testing.T) {
+	if _, _, err := AllGather(2, make([]int, 5)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := AllGather[int](0, nil); err == nil {
+		t.Error("order 0 should fail")
+	}
+}
+
+func TestPartitionItems(t *testing.T) {
+	b := []item[int]{{0, 10}, {1, 11}, {2, 12}, {3, 13}}
+	kept, sent := partitionItems(b, func(it item[int]) bool { return it.idx%2 == 0 })
+	if len(kept) != 2 || len(sent) != 2 || kept[0].idx != 0 || kept[1].idx != 2 || sent[0].idx != 1 {
+		t.Errorf("partition = %v / %v", kept, sent)
+	}
+}
+
+func TestScatterQuick(t *testing.T) {
+	f := func(nSeed, rootSeed uint8, seed int64) bool {
+		n := int(nSeed)%3 + 1
+		N := 1 << (2*n - 1)
+		root := int(rootSeed) % N
+		d, _ := validate(n, N)
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]int, N)
+		for i := range in {
+			in[i] = rng.Intn(1 << 20)
+		}
+		got, _, err := Scatter(n, root, in)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < N; u++ {
+			if got[u] != in[d.DataIndex(u)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+// Package dcomm provides the elementary dual-cube communication steps that
+// the paper's algorithms are built from, expressed against the machine
+// engine: intra-cluster and cross-edge exchanges (the cluster technique of
+// Section 3) and the recursive-dimension pairwise exchange with its
+// three-cycle relay schedule (the recursive technique of Sections 4 and 6).
+package dcomm
+
+import (
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// ClusterExchange performs the bidirectional exchange with this node's
+// neighbor along cluster dimension i (0 <= i < n-1). One clock cycle.
+func ClusterExchange[T any](c *machine.Ctx[T], d *topology.DualCube, i int, v T) T {
+	return c.Exchange(d.ClusterNeighbor(c.ID(), i), v)
+}
+
+// CrossExchange performs the bidirectional exchange over this node's
+// cross-edge. One clock cycle.
+func CrossExchange[T any](c *machine.Ctx[T], d *topology.DualCube, v T) T {
+	return c.Exchange(d.CrossNeighbor(c.ID()), v)
+}
+
+// CyclesForDim returns the clock cycles a parallel dimension-j exchange
+// takes on D_n: 1 for the cross-edge dimension (j = 0, all pairs direct),
+// 3 otherwise (Section 6: "a parallel compare-and-exchange operation for
+// all pairs of nodes at the ith dimension takes three time-units", because
+// half the pairs must route through two cross-edges).
+func CyclesForDim(j int) int {
+	if j == 0 {
+		return 1
+	}
+	return 3
+}
+
+// DimExchange performs the parallel recursive-dimension-j exchange: every
+// node sends its value to its dimension-j partner (in recursive ID space)
+// and receives the partner's value. All nodes of the machine must call it
+// with the same j in the same cycle.
+//
+// Schedule (j > 0). Let w be a node whose class parity matches j (so
+// {w, w_j} is a direct link) and v = w's cross neighbor (whose pair needs
+// the 3-hop route v → w → w_j → v_j):
+//
+//	cycle 1: w sends its own value on the j-link and receives both its
+//	         partner's value (j-link) and v's foreign value (cross-edge);
+//	         v sends its value over the cross-edge.
+//	cycle 2: w relays the foreign value on the j-link and receives the
+//	         foreign value relayed by its partner; v is idle.
+//	cycle 3: w returns the relayed value over the cross-edge; v receives
+//	         its partner's value.
+//
+// Every directed link carries at most one message per cycle and every node
+// sends at most once per cycle; relay nodes receive on two links in cycle 1
+// (the bidirectional-channel allowance). For j = 0 all pairs are direct
+// cross-edges and the exchange is a single cycle.
+func DimExchange[T any](c *machine.Ctx[T], d *topology.DualCube, j int, v T) T {
+	u := c.ID()
+	cross := d.CrossNeighbor(u)
+	if j == 0 {
+		return c.Exchange(cross, v)
+	}
+	r := d.ToRecursive(u)
+	if d.RecDirect(r, j) {
+		jp := d.FromRecursive(r ^ 1<<j)
+		own, foreign := c.SendRecv2(jp, v, jp, cross) // cycle 1
+		relayed := c.SendRecv(jp, foreign, jp)        // cycle 2
+		c.Send(cross, relayed)                        // cycle 3
+		return own
+	}
+	c.Send(cross, v) // cycle 1
+	c.Idle()         // cycle 2
+	return c.Recv(cross)
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE2Topology(t *testing.T) {
+	s := E2Topology(4, 3)
+	if !strings.Contains(s, "E2") || !strings.Contains(s, "| 4 | 128 | 4 |") {
+		t.Errorf("E2 table malformed:\n%s", s)
+	}
+	if strings.Contains(s, "| NO |") {
+		t.Errorf("E2 table reports a diameter mismatch:\n%s", s)
+	}
+	// BFS column populated for n <= 3, dash for n = 4.
+	if !strings.Contains(s, "| - |") {
+		t.Errorf("E2 should skip BFS beyond bfsMax:\n%s", s)
+	}
+}
+
+func TestE4Prefix(t *testing.T) {
+	s, err := E4Prefix(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=3 row: comm 6, bound 7, comp 6, bound 6.
+	if !strings.Contains(s, "| 3 | 32 | 6 | 7 | 6 | 6 |") {
+		t.Errorf("E4 table:\n%s", s)
+	}
+	// Emulation ablation for n=3: 6*3-5 = 13.
+	if !strings.Contains(s, "| 13 |") {
+		t.Errorf("E4 ablation column missing:\n%s", s)
+	}
+}
+
+func TestE5CubePrefix(t *testing.T) {
+	s, err := E5CubePrefix(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "| 6 | 64 | 6 | 6 | 6 |") {
+		t.Errorf("E5 table:\n%s", s)
+	}
+}
+
+func TestE8Sort(t *testing.T) {
+	s, err := E8Sort(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=4: comm 6*16-28+2 = 70, comparisons 2*16-4 = 28.
+	if !strings.Contains(s, "| 4 | 128 | 70 | 70 | 96 | 28 | 28 | 32 |") {
+		t.Errorf("E8 table:\n%s", s)
+	}
+}
+
+func TestE9E10(t *testing.T) {
+	s, err := E9E10CubeSortAndOverhead(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=4, q=7: cube 28 steps, dual 70 steps, ratio 2.50.
+	if !strings.Contains(s, "| 4 | 7 | 28 | 70 | 2.50 | yes |") {
+		t.Errorf("E9/E10 table:\n%s", s)
+	}
+	if strings.Contains(s, "| NO |") {
+		t.Errorf("comparison counts should match:\n%s", s)
+	}
+}
+
+func TestE11Compare(t *testing.T) {
+	s := E11Compare()
+	for _, want := range []string{"D_3", "Q_5", "CCC_3", "WBF_3", "DB_5", "SE_5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("E11 missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestE12Large(t *testing.T) {
+	s, err := E12Large(2, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, "NO") {
+		t.Errorf("E12 reports a failure:\n%s", s)
+	}
+	// Communication independent of k: comm column is 4 for both rows (n=2).
+	if strings.Count(s, "| 4 | yes |") != 2 {
+		t.Errorf("E12 comm not constant:\n%s", s)
+	}
+}
+
+func TestE13Collectives(t *testing.T) {
+	s, err := E13Collectives(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "| 3 | 6 | 6 | 6 | 6 | 6 | 6 | 6 |") {
+		t.Errorf("E13 table:\n%s", s)
+	}
+}
+
+func TestAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	s, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E2", "E4", "E5", "E8", "E9/E10", "E11", "E12", "E13", "E14", "E16", "E17"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("All() missing section %s", want)
+		}
+	}
+	if strings.Contains(s, "| NO |") {
+		t.Error("All() reports a mismatch")
+	}
+}
+
+func TestE14LinkLoads(t *testing.T) {
+	s, err := E14LinkLoads(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "D_prefix") || !strings.Contains(s, "D_sort") {
+		t.Errorf("E14 table:\n%s", s)
+	}
+	// D_prefix on D_n sends exactly 2 cross messages and 2(n-1) cluster
+	// messages per node; for n=3: 32 nodes -> 64 cross, 128 cluster.
+	if !strings.Contains(s, "| D_prefix | 3 | 192 | 64 | 128 |") {
+		t.Errorf("E14 prefix row:\n%s", s)
+	}
+}
+
+func TestE16Emulation(t *testing.T) {
+	s, err := E16Emulation(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, "NO") {
+		t.Errorf("E16 reports a failure:\n%s", s)
+	}
+	// n=3: D_3 comm 13, Q_5 comm 5, ratio 2.60.
+	if !strings.Contains(s, "| 3 | 32 | 13 | 5 | 2.60 | yes | yes |") {
+		t.Errorf("E16 table:\n%s", s)
+	}
+}
+
+func TestE17SampleSort(t *testing.T) {
+	s, err := E17SampleSort(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, "NO") {
+		t.Errorf("E17 reports disagreement:\n%s", s)
+	}
+	// n=3: bitonic 35 steps, sample sort 12 rounds.
+	if !strings.Contains(s, "| 3 | 256 | 35 | 12 |") {
+		t.Errorf("E17 table:\n%s", s)
+	}
+}

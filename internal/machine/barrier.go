@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrAborted is returned by Barrier.Wait (and propagated out of Engine.Run)
+// when the barrier has been aborted because some node failed. It unblocks
+// every waiter so a single node's error cannot deadlock the machine.
+var ErrAborted = errors.New("machine: run aborted")
+
+// Barrier is a reusable N-party synchronization barrier with an optional
+// leader action: the last participant to arrive runs the action before
+// releasing the others. This is how the engine performs its per-cycle
+// accounting (contention checks, counter resets) exactly once per cycle
+// while every node is quiescent.
+type Barrier struct {
+	mu      sync.Mutex
+	n       int
+	count   int
+	release chan struct{}
+	abort   chan struct{}
+	action  func()
+}
+
+// NewBarrier creates a barrier for n participants. action may be nil; when
+// non-nil it runs once per completed round, executed by the last arriver
+// while all other participants are still blocked.
+func NewBarrier(n int, action func()) *Barrier {
+	return &Barrier{
+		n:       n,
+		release: make(chan struct{}),
+		abort:   make(chan struct{}),
+		action:  action,
+	}
+}
+
+// Wait blocks until all n participants have called Wait for the current
+// round, then releases them all. It returns ErrAborted if Abort was called
+// (possibly while waiting).
+func (b *Barrier) Wait() error {
+	b.mu.Lock()
+	select {
+	case <-b.abort:
+		b.mu.Unlock()
+		return ErrAborted
+	default:
+	}
+	gen := b.release
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.release = make(chan struct{})
+		if b.action != nil {
+			b.action()
+		}
+		close(gen)
+		b.mu.Unlock()
+		return nil
+	}
+	b.mu.Unlock()
+	select {
+	case <-gen:
+		return nil
+	case <-b.abort:
+		return ErrAborted
+	}
+}
+
+// Abort permanently unblocks all current and future waiters with
+// ErrAborted. Safe to call multiple times and from any goroutine.
+func (b *Barrier) Abort() {
+	b.mu.Lock()
+	select {
+	case <-b.abort:
+	default:
+		close(b.abort)
+	}
+	b.mu.Unlock()
+}
+
+// Aborted reports whether the barrier has been aborted.
+func (b *Barrier) Aborted() bool {
+	select {
+	case <-b.abort:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,142 @@
+package machine
+
+import "fmt"
+
+// Ctx is a node's handle onto the machine: its identity, its links and the
+// global clock. Every public method that communicates advances the clock by
+// exactly one cycle on this node; the SPMD discipline is that all nodes
+// advance together, so a node with nothing to do in a cycle calls Idle.
+type Ctx[T any] struct {
+	engine *Engine[T]
+	id     int
+	ops    int
+	cycle  int // this node's local clock (== global clock under lockstep)
+}
+
+// ID returns this node's ID.
+func (c *Ctx[T]) ID() int { return c.id }
+
+// Nodes returns the machine size.
+func (c *Ctx[T]) Nodes() int { return c.engine.n }
+
+// Ops adds k computation rounds to this node's account. The paper counts
+// one computation step per parallel round of ⊕ / comparison work; programs
+// call Ops(1) once per such round.
+func (c *Ctx[T]) Ops(k int) { c.ops += k }
+
+// OpCount returns the computation rounds recorded so far on this node.
+func (c *Ctx[T]) OpCount() int { return c.ops }
+
+// Cycle returns this node's local clock: the number of completed cycles,
+// which equals the global clock under the SPMD lockstep discipline.
+func (c *Ctx[T]) Cycle() int { return c.cycle }
+
+// Idle spends one clock cycle without communicating.
+func (c *Ctx[T]) Idle() {
+	var zero T
+	c.step(NoNode, zero, NoNode, NoNode)
+}
+
+// Exchange sends v to partner and receives partner's message of the same
+// cycle — the paper's elementary bidirectional-link exchange. partner must
+// be a neighbor that performs the mirror Exchange.
+func (c *Ctx[T]) Exchange(partner int, v T) T {
+	r, _ := c.step(partner, v, partner, NoNode)
+	return r
+}
+
+// Send transmits v to neighbor `to` and spends the cycle (no receive).
+func (c *Ctx[T]) Send(to int, v T) {
+	c.step(to, v, NoNode, NoNode)
+}
+
+// Recv spends one cycle receiving the pending message from neighbor `from`.
+// The message may have been sent this cycle or buffered from an earlier one.
+func (c *Ctx[T]) Recv(from int) T {
+	r, _ := c.step(NoNode, *new(T), from, NoNode)
+	return r
+}
+
+// SendRecv sends v to neighbor `to` and receives from neighbor `from` in
+// the same cycle (the two may be different links, or the same link — in
+// which case it degenerates to Exchange).
+func (c *Ctx[T]) SendRecv(to int, v T, from int) T {
+	r, _ := c.step(to, v, from, NoNode)
+	return r
+}
+
+// SendRecv2 sends v to neighbor `to` and receives from the two distinct
+// links `from1` and `from2` in the same cycle. This is the full-duplex
+// bidirectional-channel allowance the three-time-unit compare-and-exchange
+// step of Section 6 relies on.
+func (c *Ctx[T]) SendRecv2(to int, v T, from1, from2 int) (T, T) {
+	return c.step(to, v, from1, from2)
+}
+
+// Recv2 receives from two distinct links in one cycle without sending.
+func (c *Ctx[T]) Recv2(from1, from2 int) (T, T) {
+	return c.step(NoNode, *new(T), from1, from2)
+}
+
+// step is the single clock-cycle primitive: at most one send, at most two
+// receives, one barrier. All other methods delegate here.
+func (c *Ctx[T]) step(sendTo int, v T, recv1, recv2 int) (T, T) {
+	e := c.engine
+	if sendTo != NoNode {
+		i := indexOf(e.nbrs[c.id], sendTo)
+		if i < 0 {
+			c.failf("node %d: send to %d, which is not a neighbor", c.id, sendTo)
+		}
+		select {
+		case e.out[c.id][i] <- v:
+		default:
+			c.failf("node %d: link %d->%d buffer overflow (capacity %d)", c.id, c.id, sendTo, e.cfg.LinkCapacity)
+		}
+		e.messages.Add(1)
+		e.anySent.Store(true)
+		if e.onSend != nil {
+			e.onSend(c, sendTo)
+		}
+	}
+	if recv1 != NoNode && recv1 == recv2 {
+		c.failf("node %d: duplicate receive from %d in one cycle", c.id, recv1)
+	}
+	if err := e.bar.Wait(); err != nil {
+		panic(abortPanic{err})
+	}
+	c.cycle++
+	var r1, r2 T
+	if recv1 != NoNode {
+		r1 = c.recvNow(recv1)
+	}
+	if recv2 != NoNode {
+		r2 = c.recvNow(recv2)
+	}
+	return r1, r2
+}
+
+// recvNow pops the oldest pending message on the link from -> id. It never
+// blocks: by the time the barrier has released us, every message of the
+// current cycle has been posted, so an empty channel is a protocol error.
+func (c *Ctx[T]) recvNow(from int) T {
+	e := c.engine
+	i := indexOf(e.nbrs[c.id], from)
+	if i < 0 {
+		c.failf("node %d: receive from %d, which is not a neighbor", c.id, from)
+	}
+	select {
+	case v := <-e.in[c.id][i]:
+		return v
+	default:
+		c.failf("node %d: receive from %d on an empty link", c.id, from)
+		panic("unreachable")
+	}
+}
+
+// failf aborts the whole run with a formatted protocol error and unwinds
+// this node's program.
+func (c *Ctx[T]) failf(format string, args ...any) {
+	err := fmt.Errorf("machine: "+format, args...)
+	c.engine.fail(err)
+	panic(abortPanic{err})
+}

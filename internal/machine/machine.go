@@ -1,0 +1,253 @@
+// Package machine implements the synchronous message-passing multicomputer
+// that the paper's cost model assumes: one process per node of an
+// interconnection network, links as bidirectional channels, and a global
+// clock. Every node runs the same SPMD program as its own goroutine; each
+// Go channel carries one direction of one link; a reusable barrier advances
+// the global clock.
+//
+// # Communication model
+//
+// Per clock cycle a node may send at most one message (on one of its links)
+// and receive the messages pending on at most two of its links — the
+// "bidirectional-channel, 1-port" model of the paper's theorems. The second
+// receive exists because the paper's three-time-unit compare-and-exchange
+// step (Section 6) has the relay node accept its partner's value on a
+// cluster link and a foreign value on its cross-edge in the same cycle;
+// with full-duplex links both arrive simultaneously. Algorithms that stick
+// to one receive per cycle (everything in Section 3) simply never use it.
+//
+// Messages become visible to receivers in the same cycle they are sent
+// (sends happen before the barrier, receives after) and are buffered in
+// FIFO order per directed link, so a value sent in cycle t may be consumed
+// in any cycle >= t. A receive on an empty link, a send to a non-neighbor,
+// or a link buffer overflow aborts the whole run with a descriptive error —
+// the machine is also a protocol checker for the algorithms above it.
+//
+// # Accounting
+//
+// The engine counts clock cycles (communication time), cycles in which at
+// least one message was sent, total messages (= hops, since every send
+// traverses one link), and per-node computation rounds reported by the
+// programs through Ctx.Ops. The maximum per-node operation count is the
+// parallel computation time the paper's theorems bound.
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dualcube/internal/topology"
+)
+
+// NoNode marks an absent peer in the low-level step call.
+const NoNode = -1
+
+// Config tunes an Engine.
+type Config struct {
+	// LinkCapacity is the per-directed-link buffer depth. The paper's
+	// algorithms need at most 2 in-flight messages per link; the default of
+	// 4 leaves headroom while still catching runaway protocols.
+	LinkCapacity int
+	// Timeout aborts a run that stops making progress (for example because
+	// a buggy program desynchronized the lockstep). Default 60s.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.LinkCapacity <= 0 {
+		c.LinkCapacity = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// Stats reports the cost of one run in the paper's measures.
+type Stats struct {
+	Nodes      int   // number of nodes that ran
+	Cycles     int   // total clock cycles (communication time incl. idle cycles)
+	CommCycles int   // cycles in which at least one message was sent
+	Messages   int64 // total messages = total hops
+	MaxOps     int   // max per-node computation rounds = parallel computation time
+	TotalOps   int64 // sum of computation rounds over all nodes
+}
+
+// Engine is a synchronous multicomputer over a fixed topology. An Engine is
+// reusable (Run may be called repeatedly) but not concurrently.
+type Engine[T any] struct {
+	topo topology.Topology
+	cfg  Config
+	n    int
+	nbrs [][]int    // nbrs[u]: sorted neighbor list of u
+	out  [][]chan T // out[u][i]: channel for the directed link u -> nbrs[u][i]
+	in   [][]chan T // in[u][i]: channel for the directed link nbrs[u][i] -> u
+
+	bar      *Barrier
+	cycles   atomic.Int64
+	commCyc  atomic.Int64
+	messages atomic.Int64
+	anySent  atomic.Bool
+	onSend   func(c *Ctx[T], dst int) // optional per-run send hook (recording)
+
+	failMu   sync.Mutex
+	firstErr error
+}
+
+// New builds an engine over t. Channel wiring is O(N * degree).
+func New[T any](t topology.Topology, cfg Config) *Engine[T] {
+	cfg = cfg.withDefaults()
+	n := t.Nodes()
+	e := &Engine[T]{topo: t, cfg: cfg, n: n}
+	e.nbrs = make([][]int, n)
+	e.out = make([][]chan T, n)
+	e.in = make([][]chan T, n)
+	for u := 0; u < n; u++ {
+		e.nbrs[u] = t.Neighbors(u)
+		e.out[u] = make([]chan T, len(e.nbrs[u]))
+		e.in[u] = make([]chan T, len(e.nbrs[u]))
+		for i := range e.nbrs[u] {
+			e.out[u][i] = make(chan T, cfg.LinkCapacity)
+		}
+	}
+	// Wire in[u][i] to the out channel of the reverse direction.
+	for u := 0; u < n; u++ {
+		for i, v := range e.nbrs[u] {
+			j := indexOf(e.nbrs[v], u)
+			if j < 0 {
+				panic(fmt.Sprintf("machine: topology %s is asymmetric at edge (%d,%d)", t.Name(), u, v))
+			}
+			e.in[u][i] = e.out[v][j]
+		}
+	}
+	return e
+}
+
+// Topology returns the network the engine runs on.
+func (e *Engine[T]) Topology() topology.Topology { return e.topo }
+
+// Nodes returns the number of nodes.
+func (e *Engine[T]) Nodes() int { return e.n }
+
+// abortPanic unwinds a node program after the run has been failed.
+type abortPanic struct{ err error }
+
+// Run executes program on every node in lockstep and returns the cost
+// statistics. The program must perform the same number of clock cycles on
+// every node (the usual SPMD discipline); the engine's watchdog converts a
+// desynchronized or deadlocked run into an error.
+func (e *Engine[T]) Run(program func(c *Ctx[T])) (Stats, error) {
+	return e.run(program, nil)
+}
+
+// run is the engine core shared by Run and RunRecorded.
+func (e *Engine[T]) run(program func(c *Ctx[T]), onSend func(c *Ctx[T], dst int)) (Stats, error) {
+	e.onSend = onSend
+	e.cycles.Store(0)
+	e.commCyc.Store(0)
+	e.messages.Store(0)
+	e.anySent.Store(false)
+	e.firstErr = nil
+	e.bar = NewBarrier(e.n, e.leaderAction)
+
+	watchdog := time.AfterFunc(e.cfg.Timeout, func() {
+		e.fail(fmt.Errorf("machine: run exceeded %v (desynchronized program?)", e.cfg.Timeout))
+	})
+	defer watchdog.Stop()
+
+	ops := make([]int, e.n)
+	var wg sync.WaitGroup
+	wg.Add(e.n)
+	for u := 0; u < e.n; u++ {
+		go func(u int) {
+			defer wg.Done()
+			ctx := &Ctx[T]{engine: e, id: u}
+			defer func() {
+				ops[u] = ctx.ops
+				if r := recover(); r != nil {
+					if ap, ok := r.(abortPanic); ok {
+						e.fail(ap.err)
+						return
+					}
+					e.fail(fmt.Errorf("machine: node %d panicked: %v", u, r))
+				}
+			}()
+			program(ctx)
+		}(u)
+	}
+	wg.Wait()
+	watchdog.Stop()
+
+	e.failMu.Lock()
+	err := e.firstErr
+	e.failMu.Unlock()
+	if err == nil {
+		// Protocol hygiene: every sent message must have been consumed.
+	hygiene:
+		for u := 0; u < e.n; u++ {
+			for i, ch := range e.out[u] {
+				if len(ch) != 0 {
+					err = fmt.Errorf("machine: %d unconsumed message(s) on link %d->%d", len(ch), u, e.nbrs[u][i])
+					break hygiene
+				}
+			}
+		}
+	}
+
+	st := Stats{
+		Nodes:      e.n,
+		Cycles:     int(e.cycles.Load()),
+		CommCycles: int(e.commCyc.Load()),
+		Messages:   e.messages.Load(),
+	}
+	for _, k := range ops {
+		if k > st.MaxOps {
+			st.MaxOps = k
+		}
+		st.TotalOps += int64(k)
+	}
+	if err != nil {
+		// Drain any residue so the engine can be reused after a failure.
+		for u := range e.out {
+			for _, ch := range e.out[u] {
+				for len(ch) > 0 {
+					<-ch
+				}
+			}
+		}
+	}
+	return st, err
+}
+
+// leaderAction runs once per completed barrier round, i.e. once per clock
+// cycle, while all nodes are blocked.
+func (e *Engine[T]) leaderAction() {
+	e.cycles.Add(1)
+	if e.anySent.Load() {
+		e.commCyc.Add(1)
+		e.anySent.Store(false)
+	}
+}
+
+// fail records the first error and aborts the barrier so all nodes unwind.
+func (e *Engine[T]) fail(err error) {
+	e.failMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.failMu.Unlock()
+	if e.bar != nil {
+		e.bar.Abort()
+	}
+}
+
+func indexOf(a []int, x int) int {
+	for i, v := range a {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

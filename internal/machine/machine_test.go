@@ -1,0 +1,403 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dualcube/internal/topology"
+)
+
+func TestExchangeOnK2(t *testing.T) {
+	d := topology.MustDualCube(1) // K_2
+	e := New[int](d, Config{})
+	got := make([]int, 2)
+	st, err := e.Run(func(c *Ctx[int]) {
+		got[c.ID()] = c.Exchange(1-c.ID(), c.ID()*10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 || got[1] != 0 {
+		t.Errorf("exchange results = %v", got)
+	}
+	if st.Cycles != 1 || st.CommCycles != 1 || st.Messages != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHypercubeAllDimExchange(t *testing.T) {
+	// Every node XORs together the IDs it sees along all dimensions; the
+	// result is deterministic and checkable.
+	q := 4
+	h := topology.MustHypercube(q)
+	e := New[int](h, Config{})
+	acc := make([]int, h.Nodes())
+	st, err := e.Run(func(c *Ctx[int]) {
+		sum := 0
+		for i := 0; i < q; i++ {
+			p := c.ID() ^ 1<<i
+			sum += c.Exchange(p, c.ID())
+			c.Ops(1)
+		}
+		acc[c.ID()] = sum
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < h.Nodes(); u++ {
+		want := 0
+		for i := 0; i < q; i++ {
+			want += u ^ 1<<i
+		}
+		if acc[u] != want {
+			t.Errorf("node %d: got %d want %d", u, acc[u], want)
+		}
+	}
+	if st.Cycles != q || st.CommCycles != q {
+		t.Errorf("cycles = %d/%d, want %d", st.Cycles, st.CommCycles, q)
+	}
+	if st.MaxOps != q || st.TotalOps != int64(q*h.Nodes()) {
+		t.Errorf("ops = %d/%d", st.MaxOps, st.TotalOps)
+	}
+	if st.Messages != int64(q*h.Nodes()) {
+		t.Errorf("messages = %d", st.Messages)
+	}
+}
+
+func TestSendRecvHalfDuplex(t *testing.T) {
+	h := topology.MustHypercube(1)
+	e := New[string](h, Config{})
+	var got string
+	_, err := e.Run(func(c *Ctx[string]) {
+		if c.ID() == 0 {
+			c.Send(1, "ping")
+		} else {
+			got = c.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ping" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDeferredReceiveFIFO(t *testing.T) {
+	// A message sent in cycle 1 may be received in cycle 3; messages on one
+	// link arrive in order.
+	h := topology.MustHypercube(1)
+	e := New[int](h, Config{})
+	var first, second int
+	_, err := e.Run(func(c *Ctx[int]) {
+		if c.ID() == 0 {
+			c.Send(1, 11)
+			c.Send(1, 22)
+			c.Idle()
+		} else {
+			c.Idle()
+			first = c.Recv(0)
+			second = c.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 11 || second != 22 {
+		t.Errorf("FIFO violated: got %d then %d", first, second)
+	}
+}
+
+func TestSendRecv2(t *testing.T) {
+	// On D_2, node 0 has neighbors 1 (cluster) and 4 (cross). It receives
+	// from both in one cycle while sending to one of them.
+	d := topology.MustDualCube(2)
+	e := New[int](d, Config{})
+	var a, b int
+	_, err := e.Run(func(c *Ctx[int]) {
+		switch c.ID() {
+		case 0:
+			a, b = c.SendRecv2(1, 100, 1, 4)
+		case 1:
+			c.Exchange(0, 111)
+		case 4:
+			c.Send(0, 444)
+		default:
+			c.Idle()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 111 || b != 444 {
+		t.Errorf("SendRecv2 = %d,%d", a, b)
+	}
+}
+
+func TestIdleCyclesNotCommCycles(t *testing.T) {
+	h := topology.MustHypercube(2)
+	e := New[int](h, Config{})
+	st, err := e.Run(func(c *Ctx[int]) {
+		c.Idle()
+		c.Exchange(c.ID()^1, 0)
+		c.Idle()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 3 || st.CommCycles != 1 {
+		t.Errorf("cycles=%d comm=%d, want 3/1", st.Cycles, st.CommCycles)
+	}
+}
+
+func TestSendToNonNeighborFails(t *testing.T) {
+	h := topology.MustHypercube(3)
+	e := New[int](h, Config{})
+	_, err := e.Run(func(c *Ctx[int]) {
+		if c.ID() == 0 {
+			c.Send(7, 1) // 0 and 7 differ in 3 bits: not a link
+		} else {
+			c.Idle()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "not a neighbor") {
+		t.Errorf("want non-neighbor error, got %v", err)
+	}
+}
+
+func TestRecvEmptyLinkFails(t *testing.T) {
+	h := topology.MustHypercube(1)
+	e := New[int](h, Config{})
+	_, err := e.Run(func(c *Ctx[int]) {
+		if c.ID() == 0 {
+			c.Recv(1) // nothing was sent
+		} else {
+			c.Idle()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "empty link") {
+		t.Errorf("want empty-link error, got %v", err)
+	}
+}
+
+func TestDuplicateRecvFails(t *testing.T) {
+	h := topology.MustHypercube(1)
+	e := New[int](h, Config{})
+	_, err := e.Run(func(c *Ctx[int]) {
+		if c.ID() == 0 {
+			c.Recv2(1, 1)
+		} else {
+			c.Send(0, 1)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate receive") {
+		t.Errorf("want duplicate-receive error, got %v", err)
+	}
+}
+
+func TestUnconsumedMessageDetected(t *testing.T) {
+	h := topology.MustHypercube(1)
+	e := New[int](h, Config{})
+	_, err := e.Run(func(c *Ctx[int]) {
+		if c.ID() == 0 {
+			c.Send(1, 9)
+		} else {
+			c.Idle()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "unconsumed") {
+		t.Errorf("want unconsumed-message error, got %v", err)
+	}
+}
+
+func TestLinkOverflowDetected(t *testing.T) {
+	h := topology.MustHypercube(1)
+	e := New[int](h, Config{LinkCapacity: 2})
+	_, err := e.Run(func(c *Ctx[int]) {
+		for i := 0; i < 3; i++ {
+			if c.ID() == 0 {
+				c.Send(1, i)
+			} else {
+				c.Idle()
+			}
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("want overflow error, got %v", err)
+	}
+}
+
+func TestNodePanicPropagates(t *testing.T) {
+	h := topology.MustHypercube(2)
+	e := New[int](h, Config{})
+	_, err := e.Run(func(c *Ctx[int]) {
+		if c.ID() == 2 {
+			panic("boom")
+		}
+		c.Exchange(c.ID()^1, 0)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("want node panic error, got %v", err)
+	}
+}
+
+func TestWatchdogCatchesDesync(t *testing.T) {
+	h := topology.MustHypercube(1)
+	e := New[int](h, Config{Timeout: 50 * time.Millisecond})
+	_, err := e.Run(func(c *Ctx[int]) {
+		if c.ID() == 0 {
+			c.Idle()
+			c.Idle() // node 1 never joins this cycle
+		} else {
+			c.Idle()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("want watchdog error, got %v", err)
+	}
+}
+
+func TestEngineReusableAfterFailure(t *testing.T) {
+	h := topology.MustHypercube(1)
+	e := New[int](h, Config{})
+	_, err := e.Run(func(c *Ctx[int]) {
+		if c.ID() == 0 {
+			c.Send(1, 9) // left unconsumed -> failure
+		} else {
+			c.Idle()
+		}
+	})
+	if err == nil {
+		t.Fatal("expected failure on first run")
+	}
+	var got int
+	_, err = e.Run(func(c *Ctx[int]) {
+		if c.ID() == 0 {
+			c.Send(1, 42)
+		} else {
+			got = c.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatalf("engine not reusable: %v", err)
+	}
+	if got != 42 {
+		t.Errorf("stale message leaked across runs: got %d", got)
+	}
+}
+
+func TestEngineReusableStatsReset(t *testing.T) {
+	h := topology.MustHypercube(2)
+	e := New[int](h, Config{})
+	prog := func(c *Ctx[int]) {
+		c.Exchange(c.ID()^1, c.ID())
+		c.Ops(1)
+	}
+	st1, err := e.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := e.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Errorf("stats not reset across runs: %+v vs %+v", st1, st2)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two identical runs over D_3 must produce identical values and stats.
+	d := topology.MustDualCube(3)
+	e := New[int](d, Config{})
+	run := func() ([]int, Stats) {
+		out := make([]int, d.Nodes())
+		st, err := e.Run(func(c *Ctx[int]) {
+			v := c.ID()
+			for i := 0; i < d.ClusterDim(); i++ {
+				v += c.Exchange(d.ClusterNeighbor(c.ID(), i), v)
+				c.Ops(1)
+			}
+			v += c.Exchange(d.CrossNeighbor(c.ID()), v)
+			c.Ops(1)
+			out[c.ID()] = v
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, st
+	}
+	out1, st1 := run()
+	out2, st2 := run()
+	if st1 != st2 {
+		t.Errorf("stats differ: %+v vs %+v", st1, st2)
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("values differ at node %d", i)
+		}
+	}
+}
+
+func TestBarrierAbortUnblocksWaiters(t *testing.T) {
+	b := NewBarrier(2, nil)
+	done := make(chan error, 1)
+	go func() { done <- b.Wait() }()
+	time.Sleep(10 * time.Millisecond)
+	b.Abort()
+	select {
+	case err := <-done:
+		if err != ErrAborted {
+			t.Errorf("got %v, want ErrAborted", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not unblocked")
+	}
+	if !b.Aborted() {
+		t.Error("Aborted() = false after Abort")
+	}
+	// Further waits return immediately.
+	if err := b.Wait(); err != ErrAborted {
+		t.Errorf("post-abort Wait = %v", err)
+	}
+}
+
+func TestBarrierRounds(t *testing.T) {
+	const parties, rounds = 8, 50
+	count := 0
+	b := NewBarrier(parties, func() { count++ })
+	done := make(chan struct{})
+	for p := 0; p < parties; p++ {
+		go func() {
+			for r := 0; r < rounds; r++ {
+				if err := b.Wait(); err != nil {
+					t.Error(err)
+					break
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for p := 0; p < parties; p++ {
+		<-done
+	}
+	if count != rounds {
+		t.Errorf("leader action ran %d times, want %d", count, rounds)
+	}
+}
+
+func TestLargeMachineSmoke(t *testing.T) {
+	// 2048-node dual-cube: a full cross-edge exchange round.
+	d := topology.MustDualCube(6)
+	e := New[int](d, Config{})
+	st, err := e.Run(func(c *Ctx[int]) {
+		c.Exchange(d.CrossNeighbor(c.ID()), c.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 1 || st.Messages != int64(d.Nodes()) {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,87 @@
+package prefix
+
+import (
+	"fmt"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/monoid"
+	"dualcube/internal/topology"
+)
+
+// DPrefixLarge generalizes D_prefix to input sequences larger than the
+// network — the first item of the paper's future-work list. The input of
+// length k * 2^(2n-1) is split into contiguous chunks of k elements, chunk
+// idx on node NodeAtDataIndex(idx). Each node scans its chunk locally
+// (k-1 combines), the chunk totals flow through Algorithm 2 as a diminished
+// prefix (2n communication steps), and the received offset is folded into
+// each local result (k more combines). Communication cost is independent
+// of k; only the payload work grows.
+func DPrefixLarge[T any](n, k int, in []T, m monoid.Monoid[T], inclusive bool) ([]T, machine.Stats, error) {
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if k < 1 {
+		return nil, machine.Stats{}, fmt.Errorf("prefix: chunk size %d < 1", k)
+	}
+	if len(in) != k*d.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("prefix: input length %d != k*N = %d", len(in), k*d.Nodes())
+	}
+	mdim := d.ClusterDim()
+	out := make([]T, len(in))
+
+	eng := machine.New[T](d, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[T]) {
+		u := c.ID()
+		idx := d.DataIndex(u)
+		local := d.LocalID(u)
+		chunk := in[idx*k : (idx+1)*k]
+
+		// Local scan of the chunk. localScan[i] is inclusive or diminished
+		// according to the requested flavor; t is always the chunk total.
+		localScan := make([]T, k)
+		acc := m.Identity()
+		for i, v := range chunk {
+			if inclusive {
+				acc = m.Combine(acc, v)
+				localScan[i] = acc
+			} else {
+				localScan[i] = acc
+				acc = m.Combine(acc, v)
+			}
+		}
+		t := acc
+		c.Ops(k - 1)
+
+		// Algorithm 2 over the chunk totals, diminished: s becomes the
+		// combination of all chunks strictly before this node's chunk.
+		s := m.Identity()
+		for i := 0; i < mdim; i++ {
+			t, s = ascendStep(c, m, d.ClusterNeighbor(u, i), local&(1<<i) != 0, t, s)
+		}
+		temp := c.Exchange(d.CrossNeighbor(u), t)
+		t2 := temp
+		s2 := m.Identity()
+		for i := 0; i < mdim; i++ {
+			t2, s2 = ascendStep(c, m, d.ClusterNeighbor(u, i), local&(1<<i) != 0, t2, s2)
+		}
+		recv := c.Exchange(d.CrossNeighbor(u), s2)
+		s = m.Combine(recv, s)
+		c.Ops(1)
+		if d.Class(u) == 1 {
+			s = m.Combine(t2, s)
+			c.Ops(1)
+		}
+
+		// Fold the global offset into the local scan.
+		res := out[idx*k : (idx+1)*k]
+		for i := range localScan {
+			res[i] = m.Combine(s, localScan[i])
+		}
+		c.Ops(k)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}

@@ -1,0 +1,282 @@
+// Package prefix implements the paper's parallel prefix computations:
+// Algorithm 1 (Cube_prefix, the ascend prefix on a hypercube) and
+// Algorithm 2 (D_prefix, the cluster-technique prefix on a dual-cube), plus
+// the extensions the paper lists as future work (inputs larger than the
+// network) and the hypercube-emulation ablation.
+//
+// All algorithms are generic over a monoid and combine elements strictly in
+// index order, so non-commutative operators are supported. Each returns the
+// machine statistics so the experiment harness can check the theorems:
+// D_prefix on D_n runs in 2n communication steps (Theorem 1 bound: at most
+// 2n+1) and 2n computation rounds.
+package prefix
+
+import (
+	"fmt"
+
+	"dualcube/internal/dcomm"
+	"dualcube/internal/emulate"
+	"dualcube/internal/machine"
+	"dualcube/internal/monoid"
+	"dualcube/internal/topology"
+)
+
+// ascendStep performs one dimension step of Algorithm 1 at a single node:
+// exchange the running subcube total t with the dimension-i partner and
+// fold the received half into t and, when this node is in the upper half
+// (local bit i set), into the prefix s. Combine order is kept strictly
+// lower-half-first so non-commutative monoids work.
+func ascendStep[T any](c *machine.Ctx[T], m monoid.Monoid[T], partner int, upper bool, t, s T) (T, T) {
+	temp := c.Exchange(partner, t)
+	if upper {
+		s = m.Combine(temp, s)
+		t = m.Combine(temp, t)
+	} else {
+		t = m.Combine(t, temp)
+	}
+	c.Ops(1)
+	return t, s
+}
+
+// CubePrefix runs Algorithm 1 on the hypercube Q_q: node u starts with
+// in[u] and finishes with the prefix in[0] ⊕ ... ⊕ in[u] (inclusive) or
+// in[0] ⊕ ... ⊕ in[u-1] (diminished, the paper's tag = 0). It takes q
+// communication steps and q computation rounds.
+func CubePrefix[T any](q int, in []T, m monoid.Monoid[T], inclusive bool) ([]T, machine.Stats, error) {
+	h, err := topology.NewHypercube(q)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if len(in) != h.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("prefix: input length %d != %d nodes of %s", len(in), h.Nodes(), h.Name())
+	}
+	out := make([]T, len(in))
+	eng := machine.New[T](h, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[T]) {
+		u := c.ID()
+		t := in[u]
+		s := in[u]
+		if !inclusive {
+			s = m.Identity()
+		}
+		for i := 0; i < q; i++ {
+			t, s = ascendStep(c, m, u^1<<i, u&(1<<i) != 0, t, s)
+		}
+		out[u] = s
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// Trace captures the per-phase snapshots of one D_prefix run, indexed by
+// element (data) position — the six panels of the paper's Figure 3.
+type Trace[T any] struct {
+	Phases []Phase[T]
+}
+
+// Phase is one snapshot: the prefix variable s and the total variable t of
+// every node, in element order.
+type Phase[T any] struct {
+	Label string
+	S     []T
+	T     []T
+}
+
+// addPhase allocates a snapshot to be filled in by the node programs.
+func (tr *Trace[T]) addPhase(label string, n int) *Phase[T] {
+	tr.Phases = append(tr.Phases, Phase[T]{Label: label, S: make([]T, n), T: make([]T, n)})
+	return &tr.Phases[len(tr.Phases)-1]
+}
+
+// DPrefix runs Algorithm 2 on the dual-cube D_n. The input is in element
+// order under the paper's block layout: element idx lives on node
+// NodeAtDataIndex(idx), so each cluster holds a consecutive block. The
+// result is the prefix of in (inclusive, or diminished when inclusive is
+// false), again in element order.
+//
+// The five steps of Algorithm 2, executed by every node u with local
+// cluster index x and element block b:
+//
+//  1. inclusive prefix inside the cluster (n-1 exchanges): t = block total,
+//     s = prefix within the block;
+//  2. exchange t over the cross-edge (1 cycle): afterwards the nodes of
+//     every cluster of one class hold the block totals of the other class,
+//     in local-index order (the cross-edge permutation transposes the two
+//     address fields, which is exactly why the layout swaps them);
+//  3. diminished prefix of the received totals inside the cluster (n-1
+//     exchanges): s' = combined totals of the other class's blocks before
+//     the cross partner's block, t' = the other class's grand total;
+//  4. exchange s' back over the cross-edge (1 cycle) and fold it into s;
+//  5. class-1 nodes additionally fold in the class-0 grand total t',
+//     which step 3 left on the class-1 nodes themselves — a purely local
+//     computation round in this layout (the paper schedules a third
+//     cross-edge step here; either way Theorem 1's bound of 2n+1
+//     communication steps holds, ours measures exactly 2n).
+//
+// tr may be nil; when non-nil it receives the Figure 3 phase snapshots.
+func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace[T]) ([]T, machine.Stats, error) {
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if len(in) != d.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("prefix: input length %d != %d nodes of %s", len(in), d.Nodes(), d.Name())
+	}
+
+	var snaps []*Phase[T]
+	if tr != nil {
+		for _, label := range []string{
+			"(a) original data distribution",
+			"(b) prefix inside cluster (t, s)",
+			"(c) exchange t via cross-edge",
+			"(d) prefix of totals inside cluster (t', s')",
+			"(e) get s' and prefix one more time",
+			"(f) final result (class 1 + t')",
+		} {
+			snaps = append(snaps, tr.addPhase(label, d.Nodes()))
+		}
+	}
+	snap := func(i int, idx int, s, t T) {
+		if tr != nil {
+			snaps[i].S[idx] = s
+			snaps[i].T[idx] = t
+		}
+	}
+
+	out := make([]T, len(in))
+	eng := machine.New[T](d, machine.Config{})
+	st, err := eng.Run(dprefixProgram(d, in, m, inclusive, out, snap))
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// DPrefixRecorded is DPrefix with full message recording (per-link loads
+// and the space-time event log) for the traffic analysis of experiment
+// E14. Tracing snapshots are not supported in this variant.
+func DPrefixRecorded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool) ([]T, machine.Stats, *machine.Recording, error) {
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return nil, machine.Stats{}, nil, err
+	}
+	if len(in) != d.Nodes() {
+		return nil, machine.Stats{}, nil, fmt.Errorf("prefix: input length %d != %d nodes of %s", len(in), d.Nodes(), d.Name())
+	}
+	out := make([]T, len(in))
+	eng := machine.New[T](d, machine.Config{})
+	st, rec, err := eng.RunRecorded(dprefixProgram(d, in, m, inclusive, out, func(int, int, T, T) {}))
+	if err != nil {
+		return nil, st, nil, err
+	}
+	return out, st, rec, nil
+}
+
+// dprefixProgram builds the per-node SPMD program of Algorithm 2. snap is
+// the phase-snapshot hook (phase index, element index, s, t).
+func dprefixProgram[T any](d *topology.DualCube, in []T, m monoid.Monoid[T], inclusive bool, out []T, snap func(i, idx int, s, t T)) func(c *machine.Ctx[T]) {
+	mdim := d.ClusterDim()
+	return func(c *machine.Ctx[T]) {
+		u := c.ID()
+		idx := d.DataIndex(u)
+		local := d.LocalID(u)
+
+		t := in[idx]
+		s := in[idx]
+		if !inclusive {
+			s = m.Identity()
+		}
+		snap(0, idx, in[idx], in[idx])
+
+		// Step 1: inclusive prefix of the block inside the cluster.
+		for i := 0; i < mdim; i++ {
+			t, s = ascendStep(c, m, d.ClusterNeighbor(u, i), local&(1<<i) != 0, t, s)
+		}
+		snap(1, idx, s, t)
+
+		// Step 2: cross-edge exchange of block totals.
+		temp := dcomm.CrossExchange(c, d, t)
+		snap(2, idx, s, temp)
+
+		// Step 3: diminished prefix of the received block totals.
+		t2 := temp
+		s2 := m.Identity()
+		for i := 0; i < mdim; i++ {
+			t2, s2 = ascendStep(c, m, d.ClusterNeighbor(u, i), local&(1<<i) != 0, t2, s2)
+		}
+		snap(3, idx, s2, t2)
+
+		// Step 4: cross-edge exchange of the prefixed totals; fold in the
+		// combined earlier-block totals of this node's own class half.
+		recv := dcomm.CrossExchange(c, d, s2)
+		s = m.Combine(recv, s)
+		c.Ops(1)
+		snap(4, idx, s, t2)
+
+		// Step 5: class-1 blocks come after all class-0 blocks, so class-1
+		// nodes prepend the class-0 grand total (their t').
+		if d.Class(u) == 1 {
+			s = m.Combine(t2, s)
+			c.Ops(1)
+		}
+		snap(5, idx, s, t2)
+
+		out[idx] = s
+	}
+}
+
+// EmulatedCubePrefix is the ablation of experiment E4: run Algorithm 1 for
+// the (2n-1)-cube directly on D_n via the recursive presentation — a
+// "normal" ascend algorithm executed through internal/emulate — paying the
+// 3-cycle relay for every dimension above 0 instead of using the cluster
+// technique. Input and output are in recursive-ID order. It costs 6n-5
+// communication steps versus D_prefix's 2n, demonstrating why the cluster
+// technique matters.
+func EmulatedCubePrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool) ([]T, machine.Stats, error) {
+	init := make([]totalPrefix[T], len(in))
+	for i, v := range in {
+		init[i] = totalPrefix[T]{t: v, s: v}
+		if !inclusive {
+			init[i].s = m.Identity()
+		}
+	}
+	pairs, st, err := emulate.Ascend(n, init, func(dim, id int, mine, theirs totalPrefix[T]) totalPrefix[T] {
+		if id>>dim&1 == 1 {
+			return totalPrefix[T]{t: m.Combine(theirs.t, mine.t), s: m.Combine(theirs.t, mine.s)}
+		}
+		return totalPrefix[T]{t: m.Combine(mine.t, theirs.t), s: mine.s}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]T, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.s
+	}
+	return out, st, nil
+}
+
+// totalPrefix is the (subcube total, subcube prefix) value pair carried by
+// the ascend prefix when expressed as a normal algorithm.
+type totalPrefix[T any] struct {
+	t, s T
+}
+
+// MeasuredCommSteps returns the communication steps our D_prefix schedule
+// takes on D_n: 2(n-1) intra-cluster exchanges plus 2 cross-edge exchanges.
+func MeasuredCommSteps(n int) int { return 2 * n }
+
+// PaperCommBound returns Theorem 1's communication bound for D_n: 2n+1.
+func PaperCommBound(n int) int { return 2*n + 1 }
+
+// PaperCompBound returns Theorem 1's computation bound for D_n: 2n.
+func PaperCompBound(n int) int { return 2 * n }
+
+// CubeCommSteps returns the communication steps of Algorithm 1 on Q_q: q.
+func CubeCommSteps(q int) int { return q }
+
+// EmulatedCommSteps returns the communication steps of the hypercube
+// emulation ablation on D_n: 1 + 3(2n-2) = 6n-5.
+func EmulatedCommSteps(n int) int { return 6*n - 5 }

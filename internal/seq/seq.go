@@ -1,0 +1,153 @@
+// Package seq provides the sequential golden models the parallel
+// implementations are verified against: scans (prefix computations),
+// sortedness and bitonicity predicates, and multiset comparison. Everything
+// here is deliberately simple and obviously correct.
+package seq
+
+import (
+	"sort"
+
+	"dualcube/internal/monoid"
+)
+
+// ScanInclusive returns the inclusive prefix combination of in:
+// out[i] = in[0] ⊕ in[1] ⊕ ... ⊕ in[i], combined strictly left to right.
+func ScanInclusive[T any](in []T, m monoid.Monoid[T]) []T {
+	out := make([]T, len(in))
+	acc := m.Identity()
+	for i, v := range in {
+		acc = m.Combine(acc, v)
+		out[i] = acc
+	}
+	return out
+}
+
+// ScanExclusive returns the diminished (exclusive) prefix combination:
+// out[i] = in[0] ⊕ ... ⊕ in[i-1], with out[0] the identity.
+func ScanExclusive[T any](in []T, m monoid.Monoid[T]) []T {
+	out := make([]T, len(in))
+	acc := m.Identity()
+	for i, v := range in {
+		out[i] = acc
+		acc = m.Combine(acc, v)
+	}
+	return out
+}
+
+// SegmentedScanInclusive returns the inclusive segmented prefix of values:
+// heads[i] = true starts a new segment at position i (position 0 always
+// starts one); out[i] combines the values from its segment's start
+// through i, strictly left to right.
+func SegmentedScanInclusive[T any](values []T, heads []bool, m monoid.Monoid[T]) []T {
+	out := make([]T, len(values))
+	acc := m.Identity()
+	for i, v := range values {
+		if i == 0 || heads[i] {
+			acc = v
+		} else {
+			acc = m.Combine(acc, v)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Reduce returns in[0] ⊕ ... ⊕ in[len-1] (identity for empty input).
+func Reduce[T any](in []T, m monoid.Monoid[T]) T {
+	acc := m.Identity()
+	for _, v := range in {
+		acc = m.Combine(acc, v)
+	}
+	return acc
+}
+
+// IsSorted reports whether a is nondecreasing under less.
+func IsSorted[T any](a []T, less func(x, y T) bool) bool {
+	for i := 1; i < len(a); i++ {
+		if less(a[i], a[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSortedDesc reports whether a is nonincreasing under less.
+func IsSortedDesc[T any](a []T, less func(x, y T) bool) bool {
+	for i := 1; i < len(a); i++ {
+		if less(a[i-1], a[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBitonic reports whether a is a bitonic sequence in the paper's sense:
+// it rises then falls, falls then rises, or is a cyclic rotation of such a
+// sequence. Equivalently, some rotation of a is nondecreasing then
+// nonincreasing.
+func IsBitonic[T any](a []T, less func(x, y T) bool) bool {
+	n := len(a)
+	if n <= 2 {
+		return true
+	}
+	// Count the direction changes around the cycle, ignoring plateaus. A
+	// sequence is bitonic iff there are at most two strict direction
+	// changes cyclically.
+	changes := 0
+	prevDir := 0 // +1 rising, -1 falling
+	for i := 0; i < n; i++ {
+		x, y := a[i], a[(i+1)%n]
+		var dir int
+		switch {
+		case less(x, y):
+			dir = 1
+		case less(y, x):
+			dir = -1
+		default:
+			continue
+		}
+		if prevDir != 0 && dir != prevDir {
+			changes++
+		}
+		prevDir = dir
+	}
+	// Close the cycle: compare last direction with the first one again is
+	// already handled by the modular scan above; a monotone-with-plateaus
+	// cycle of distinct values has 2 changes, constant has 0.
+	return changes <= 2
+}
+
+// SameMultiset reports whether a and b contain the same elements with the
+// same multiplicities, using less as a strict weak order.
+func SameMultiset[T any](a, b []T, less func(x, y T) bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]T(nil), a...)
+	bs := append([]T(nil), b...)
+	sort.SliceStable(as, func(i, j int) bool { return less(as[i], as[j]) })
+	sort.SliceStable(bs, func(i, j int) bool { return less(bs[i], bs[j]) })
+	for i := range as {
+		if less(as[i], bs[i]) || less(bs[i], as[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns a sorted copy of a under less (the reference answer for
+// the sorting experiments).
+func Sorted[T any](a []T, less func(x, y T) bool) []T {
+	out := append([]T(nil), a...)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// Reversed returns a reversed copy of a.
+func Reversed[T any](a []T) []T {
+	out := make([]T, len(a))
+	for i, v := range a {
+		out[len(a)-1-i] = v
+	}
+	return out
+}

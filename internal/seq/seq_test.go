@@ -1,0 +1,218 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualcube/internal/monoid"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestScanInclusive(t *testing.T) {
+	got := ScanInclusive([]int{1, 2, 3, 4}, monoid.Sum[int]())
+	want := []int{1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanInclusive = %v", got)
+		}
+	}
+	if len(ScanInclusive(nil, monoid.Sum[int]())) != 0 {
+		t.Error("empty scan should be empty")
+	}
+}
+
+func TestScanExclusive(t *testing.T) {
+	got := ScanExclusive([]int{1, 2, 3, 4}, monoid.Sum[int]())
+	want := []int{0, 1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanExclusive = %v", got)
+		}
+	}
+}
+
+func TestScanConcatOrder(t *testing.T) {
+	got := ScanInclusive([]string{"a", "b", "c"}, monoid.Concat())
+	if got[2] != "abc" {
+		t.Errorf("concat scan order broken: %v", got)
+	}
+	ex := ScanExclusive([]string{"a", "b", "c"}, monoid.Concat())
+	if ex[0] != "" || ex[2] != "ab" {
+		t.Errorf("exclusive concat scan: %v", ex)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	if Reduce([]int{5, 7, 9}, monoid.Sum[int]()) != 21 {
+		t.Error("reduce sum")
+	}
+	if Reduce(nil, monoid.Sum[int]()) != 0 {
+		t.Error("reduce empty should be identity")
+	}
+	if Reduce([]string{"x", "y"}, monoid.Concat()) != "xy" {
+		t.Error("reduce concat")
+	}
+}
+
+func TestScanExclusiveShiftProperty(t *testing.T) {
+	// Exclusive scan is the inclusive scan shifted right by one.
+	f := func(in []int16) bool {
+		xs := make([]int, len(in))
+		for i, v := range in {
+			xs[i] = int(v)
+		}
+		m := monoid.Sum[int]()
+		inc := ScanInclusive(xs, m)
+		exc := ScanExclusive(xs, m)
+		for i := range xs {
+			want := 0
+			if i > 0 {
+				want = inc[i-1]
+			}
+			if exc[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]int{1, 1, 2, 3}, intLess) {
+		t.Error("sorted slice reported unsorted")
+	}
+	if IsSorted([]int{2, 1}, intLess) {
+		t.Error("unsorted slice reported sorted")
+	}
+	if !IsSortedDesc([]int{3, 2, 2, 1}, intLess) {
+		t.Error("descending slice reported unsorted")
+	}
+	if IsSortedDesc([]int{1, 2}, intLess) {
+		t.Error("ascending slice reported descending")
+	}
+	if !IsSorted([]int{}, intLess) || !IsSortedDesc([]int{7}, intLess) {
+		t.Error("trivial slices should be sorted both ways")
+	}
+}
+
+func TestIsBitonic(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want bool
+	}{
+		{[]int{}, true},
+		{[]int{1}, true},
+		{[]int{1, 2}, true},
+		{[]int{1, 3, 2}, true},           // rise then fall
+		{[]int{3, 1, 2}, true},           // fall then rise
+		{[]int{2, 3, 1}, true},           // rotation of rise-fall
+		{[]int{1, 2, 3, 4}, true},        // monotone
+		{[]int{4, 3, 2, 1}, true},        // monotone desc
+		{[]int{5, 5, 5}, true},           // constant
+		{[]int{1, 3, 2, 4}, false},       // two peaks
+		{[]int{1, 5, 2, 6, 3}, false},    // zigzag
+		{[]int{0, 4, 1, 1, 4, 0}, false}, /* valley then peak then valley cyclically? 0,4,1,1,4,0 -> up,down,flat,up,down: cyclic changes: u,d,u,d = 3+ */
+	}
+	for _, c := range cases {
+		if got := IsBitonic(c.in, intLess); got != c.want {
+			t.Errorf("IsBitonic(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsBitonicRotationClosure(t *testing.T) {
+	// Property: bitonicity is invariant under rotation.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		a := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(6)
+		}
+		base := IsBitonic(a, intLess)
+		for rot := 1; rot < n; rot++ {
+			b := append(append([]int{}, a[rot:]...), a[:rot]...)
+			if IsBitonic(b, intLess) != base {
+				t.Fatalf("rotation changed bitonicity: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestIsBitonicSortedConcatenation(t *testing.T) {
+	// An ascending run followed by a descending run is always bitonic —
+	// the invariant D_sort's first merge phase relies on.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		a := make([]int, 1+rng.Intn(10))
+		b := make([]int, 1+rng.Intn(10))
+		for i := range a {
+			a[i] = rng.Intn(100)
+		}
+		for i := range b {
+			b[i] = rng.Intn(100)
+		}
+		s := append(Sorted(a, intLess), Reversed(Sorted(b, intLess))...)
+		if !IsBitonic(s, intLess) {
+			t.Fatalf("asc++desc not bitonic: %v", s)
+		}
+	}
+}
+
+func TestSameMultiset(t *testing.T) {
+	if !SameMultiset([]int{3, 1, 2, 1}, []int{1, 1, 2, 3}, intLess) {
+		t.Error("permutations should match")
+	}
+	if SameMultiset([]int{1, 2}, []int{1, 1}, intLess) {
+		t.Error("different multisets should not match")
+	}
+	if SameMultiset([]int{1}, []int{1, 1}, intLess) {
+		t.Error("different lengths should not match")
+	}
+	if !SameMultiset([]int{}, []int{}, intLess) {
+		t.Error("empty multisets should match")
+	}
+}
+
+func TestSortedAndReversed(t *testing.T) {
+	in := []int{3, 1, 2}
+	s := Sorted(in, intLess)
+	if !IsSorted(s, intLess) || !SameMultiset(in, s, intLess) {
+		t.Errorf("Sorted(%v) = %v", in, s)
+	}
+	if in[0] != 3 {
+		t.Error("Sorted must not mutate its input")
+	}
+	r := Reversed(s)
+	if !IsSortedDesc(r, intLess) {
+		t.Errorf("Reversed(%v) = %v", s, r)
+	}
+}
+
+func TestSegmentedScanInclusive(t *testing.T) {
+	values := []int{1, 2, 3, 4, 5}
+	heads := []bool{false, false, true, false, true}
+	got := SegmentedScanInclusive(values, heads, monoid.Sum[int]())
+	want := []int{1, 3, 3, 7, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segmented scan = %v, want %v", got, want)
+		}
+	}
+	if len(SegmentedScanInclusive(nil, nil, monoid.Sum[int]())) != 0 {
+		t.Error("empty segmented scan should be empty")
+	}
+	// head at position 0 behaves the same as no head there.
+	h2 := []bool{true, false, true, false, true}
+	got2 := SegmentedScanInclusive(values, h2, monoid.Sum[int]())
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("head-at-0 segmented scan = %v", got2)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package sortnet
+
+import (
+	"fmt"
+	"sort"
+
+	"dualcube/internal/dcomm"
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// mergeSplit merges two ascending runs of equal length k and returns the k
+// smallest (low) or k largest (high) elements, themselves ascending. This
+// is the block generalization of compare-and-exchange: substituting it for
+// the scalar comparator in any sorting network sorts k·N keys, provided
+// every block is pre-sorted.
+func mergeSplit[K any](a, b []K, less func(x, y K) bool, low bool) []K {
+	k := len(a)
+	out := make([]K, k)
+	if low {
+		i, j := 0, 0
+		for t := 0; t < k; t++ {
+			if j >= len(b) || (i < len(a) && !less(b[j], a[i])) {
+				out[t] = a[i]
+				i++
+			} else {
+				out[t] = b[j]
+				j++
+			}
+		}
+		return out
+	}
+	i, j := len(a)-1, len(b)-1
+	for t := k - 1; t >= 0; t-- {
+		if j < 0 || (i >= 0 && !less(a[i], b[j])) {
+			out[t] = a[i]
+			i--
+		} else {
+			out[t] = b[j]
+			j--
+		}
+	}
+	return out
+}
+
+// DSortLarge generalizes D_sort to k keys per node (future-work item 1 of
+// the paper): keys has length k·2^(2n-1); chunk r (in recursive-ID order)
+// is placed on the node with recursive ID r. Each node sorts its chunk
+// locally, then the D_sort network runs with merge-split in place of
+// compare-and-exchange. The result is fully sorted in (recursive ID, chunk
+// offset) order, ascending or descending per ord.
+//
+// Communication steps are identical to DSort (messages carry k keys);
+// computation grows by the local sort and the k-element merges.
+func DSortLarge[K any](n, k int, keys []K, less func(a, b K) bool, ord Order) ([]K, machine.Stats, error) {
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if k < 1 {
+		return nil, machine.Stats{}, fmt.Errorf("sortnet: chunk size %d < 1", k)
+	}
+	if len(keys) != k*d.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys != k*N = %d", len(keys), k*d.Nodes())
+	}
+	out := make([]K, len(keys))
+	eng := machine.New[[]K](d, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[[]K]) {
+		r := d.ToRecursive(c.ID())
+		chunk := append([]K(nil), keys[r*k:(r+1)*k]...)
+		// Local pre-sort, always ascending; directions are handled by which
+		// half each merge-split keeps.
+		sort.SliceStable(chunk, func(i, j int) bool { return less(chunk[i], chunk[j]) })
+		c.Ops(1)
+		exch := func(j int, dir Order) {
+			other := dcomm.DimExchange(c, d, j, chunk)
+			chunk = mergeSplit(chunk, other, less, keepMinAt(r, j, dir))
+			c.Ops(1)
+		}
+		for l := 1; l <= n; l++ {
+			dir := ord
+			if l < n {
+				dir = Order(r >> (2*l - 1) & 1)
+			}
+			if l > 1 {
+				for j := 2*l - 3; j >= 0; j-- {
+					exch(j, Order(r>>(2*l-2)&1))
+				}
+			}
+			for j := 2*l - 2; j >= 0; j-- {
+				exch(j, dir)
+			}
+		}
+		res := out[r*k : (r+1)*k]
+		if ord == Descending {
+			// Chunks are internally ascending; reverse each so the flat
+			// output is globally descending.
+			for i := range chunk {
+				res[i] = chunk[k-1-i]
+			}
+		} else {
+			copy(res, chunk)
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// CubeSortLarge is the same generalization for the hypercube baseline:
+// k keys per node of Q_q, bitonic sort with merge-split.
+func CubeSortLarge[K any](q, k int, keys []K, less func(a, b K) bool, ord Order) ([]K, machine.Stats, error) {
+	h, err := topology.NewHypercube(q)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if k < 1 {
+		return nil, machine.Stats{}, fmt.Errorf("sortnet: chunk size %d < 1", k)
+	}
+	if len(keys) != k*h.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys != k*N = %d", len(keys), k*h.Nodes())
+	}
+	out := make([]K, len(keys))
+	eng := machine.New[[]K](h, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[[]K]) {
+		u := c.ID()
+		chunk := append([]K(nil), keys[u*k:(u+1)*k]...)
+		sort.SliceStable(chunk, func(i, j int) bool { return less(chunk[i], chunk[j]) })
+		c.Ops(1)
+		for s := 1; s <= q; s++ {
+			dir := ord
+			if s < q {
+				dir = Order(u >> s & 1)
+			}
+			for j := s - 1; j >= 0; j-- {
+				other := c.Exchange(u^1<<j, chunk)
+				chunk = mergeSplit(chunk, other, less, keepMinAt(u, j, dir))
+				c.Ops(1)
+			}
+		}
+		res := out[u*k : (u+1)*k]
+		if ord == Descending {
+			for i := range chunk {
+				res[i] = chunk[k-1-i]
+			}
+		} else {
+			copy(res, chunk)
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}

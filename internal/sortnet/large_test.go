@@ -1,0 +1,154 @@
+package sortnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualcube/internal/seq"
+)
+
+func TestMergeSplit(t *testing.T) {
+	a := []int{1, 4, 6, 9}
+	b := []int{2, 3, 7, 8}
+	low := mergeSplit(a, b, intLess, true)
+	high := mergeSplit(a, b, intLess, false)
+	wantLow := []int{1, 2, 3, 4}
+	wantHigh := []int{6, 7, 8, 9}
+	for i := range wantLow {
+		if low[i] != wantLow[i] || high[i] != wantHigh[i] {
+			t.Fatalf("mergeSplit: low=%v high=%v", low, high)
+		}
+	}
+	// Together they must partition the union.
+	if !seq.SameMultiset(append(append([]int{}, a...), b...), append(append([]int{}, low...), high...), intLess) {
+		t.Error("mergeSplit lost elements")
+	}
+}
+
+func TestMergeSplitDuplicates(t *testing.T) {
+	a := []int{2, 2, 2}
+	b := []int{2, 2, 2}
+	low := mergeSplit(a, b, intLess, true)
+	high := mergeSplit(a, b, intLess, false)
+	for i := 0; i < 3; i++ {
+		if low[i] != 2 || high[i] != 2 {
+			t.Fatal("duplicates broken")
+		}
+	}
+}
+
+func TestMergeSplitRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(8)
+		a := make([]int, k)
+		b := make([]int, k)
+		for i := 0; i < k; i++ {
+			a[i] = rng.Intn(20)
+			b[i] = rng.Intn(20)
+		}
+		a = seq.Sorted(a, intLess)
+		b = seq.Sorted(b, intLess)
+		low := mergeSplit(a, b, intLess, true)
+		high := mergeSplit(a, b, intLess, false)
+		if !seq.IsSorted(low, intLess) || !seq.IsSorted(high, intLess) {
+			t.Fatalf("halves not sorted: %v %v", low, high)
+		}
+		// max(low) <= min(high)
+		if len(low) > 0 && len(high) > 0 && intLess(high[0], low[len(low)-1]) {
+			t.Fatalf("split point wrong: %v | %v", low, high)
+		}
+		all := append(append([]int{}, a...), b...)
+		merged := append(append([]int{}, low...), high...)
+		if !seq.SameMultiset(all, merged, intLess) {
+			t.Fatalf("elements lost: %v %v -> %v %v", a, b, low, high)
+		}
+	}
+}
+
+func TestDSortLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range []struct{ n, k int }{{1, 2}, {2, 1}, {2, 4}, {3, 3}, {3, 8}, {4, 4}} {
+		N := 1 << (2*tc.n - 1)
+		for _, ord := range []Order{Ascending, Descending} {
+			in := make([]int, tc.k*N)
+			for i := range in {
+				in[i] = rng.Intn(200) - 100
+			}
+			got, st, err := DSortLarge(tc.n, tc.k, in, intLess, ord)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+			}
+			checkSorted(t, "DSortLarge", in, got, ord)
+			// Communication independent of k.
+			if st.Cycles != DSortCommSteps(tc.n) {
+				t.Errorf("n=%d k=%d: comm %d, want %d", tc.n, tc.k, st.Cycles, DSortCommSteps(tc.n))
+			}
+		}
+	}
+}
+
+func TestDSortLargeK1MatchesDSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 3
+	N := 1 << (2*n - 1)
+	in := make([]int, N)
+	for i := range in {
+		in[i] = rng.Intn(1000)
+	}
+	a, _, err := DSort(n, in, intLess, Ascending, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := DSortLarge(n, 1, in, intLess, Ascending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("k=1 large sort differs at %d", i)
+		}
+	}
+}
+
+func TestCubeSortLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, tc := range []struct{ q, k int }{{0, 3}, {1, 2}, {3, 4}, {5, 3}} {
+		N := 1 << tc.q
+		for _, ord := range []Order{Ascending, Descending} {
+			in := make([]int, tc.k*N)
+			for i := range in {
+				in[i] = rng.Intn(100)
+			}
+			got, st, err := CubeSortLarge(tc.q, tc.k, in, intLess, ord)
+			if err != nil {
+				t.Fatalf("q=%d k=%d: %v", tc.q, tc.k, err)
+			}
+			checkSorted(t, "CubeSortLarge", in, got, ord)
+			if st.Cycles != CubeSortSteps(tc.q) {
+				t.Errorf("q=%d k=%d: comm %d, want %d", tc.q, tc.k, st.Cycles, CubeSortSteps(tc.q))
+			}
+		}
+	}
+}
+
+func TestLargeBadInput(t *testing.T) {
+	if _, _, err := DSortLarge(2, 0, nil, intLess, Ascending); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := DSortLarge(2, 2, make([]int, 3), intLess, Ascending); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := DSortLarge(0, 1, nil, intLess, Ascending); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if _, _, err := CubeSortLarge(2, 0, nil, intLess, Ascending); err == nil {
+		t.Error("cube k=0 should fail")
+	}
+	if _, _, err := CubeSortLarge(2, 2, make([]int, 3), intLess, Ascending); err == nil {
+		t.Error("cube length mismatch should fail")
+	}
+	if _, _, err := CubeSortLarge(-1, 1, nil, intLess, Ascending); err == nil {
+		t.Error("cube negative dim should fail")
+	}
+}

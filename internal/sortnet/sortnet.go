@@ -1,0 +1,272 @@
+// Package sortnet implements the paper's sorting algorithms: Batcher's
+// bitonic sort on the hypercube (Section 5, the baseline) and D_sort
+// (Algorithm 3), the bitonic sort on the dual-cube built on the recursive
+// presentation of Section 4, plus the large-input merge-split
+// generalization from the paper's future-work list.
+//
+// Keys are placed one per node in recursive-ID order for D_sort (node-ID
+// order for the hypercube); the sorted sequence is read back in the same
+// order. Both algorithms report machine statistics so the harness can check
+// Theorem 2: D_sort takes exactly 6n²-7n+2 communication steps (paper
+// bound: at most 6n²) and 2n²-n comparison rounds (bound 2n²) on D_n.
+package sortnet
+
+import (
+	"fmt"
+
+	"dualcube/internal/dcomm"
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// Order selects the direction of the final sorted sequence — the paper's
+// boolean tag (0 ascending, 1 descending).
+type Order int
+
+const (
+	// Ascending sorts smallest first (tag = 0).
+	Ascending Order = iota
+	// Descending sorts largest first (tag = 1).
+	Descending
+)
+
+// String returns "asc" or "desc".
+func (o Order) String() string {
+	if o == Descending {
+		return "desc"
+	}
+	return "asc"
+}
+
+// cmpExch performs one compare-and-exchange with the exchanged value:
+// returns the min of (key, other) when keepMin, else the max. Ties keep the
+// local key, which makes the step deterministic for equal keys.
+func cmpExch[K any](c *machine.Ctx[K], less func(a, b K) bool, keepMin bool, key, other K) K {
+	c.Ops(1)
+	if keepMin {
+		if less(other, key) {
+			return other
+		}
+		return key
+	}
+	if less(key, other) {
+		return other
+	}
+	return key
+}
+
+// keepMinAt decides which endpoint of a dimension-j pair keeps the smaller
+// key: for an ascending subsequence the node whose bit j is 0, for a
+// descending one the node whose bit j is 1.
+func keepMinAt(id, j int, dir Order) bool {
+	bit := id>>j&1 == 1
+	if dir == Ascending {
+		return !bit
+	}
+	return bit
+}
+
+// CubeSort runs Batcher's bitonic sort on the hypercube Q_q: keys[u] is
+// placed on node u, and the result is the sorted permutation in node-ID
+// order. It performs q(q+1)/2 compare-exchange steps, each a single
+// communication cycle.
+func CubeSort[K any](q int, keys []K, less func(a, b K) bool, ord Order) ([]K, machine.Stats, error) {
+	h, err := topology.NewHypercube(q)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if len(keys) != h.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys for %d nodes of %s", len(keys), h.Nodes(), h.Name())
+	}
+	out := make([]K, len(keys))
+	eng := machine.New[K](h, machine.Config{})
+	st, err := eng.Run(func(c *machine.Ctx[K]) {
+		u := c.ID()
+		key := keys[u]
+		for k := 1; k <= q; k++ {
+			// Direction of the 2^k-block containing u at this stage; the
+			// final stage merges the whole cube in the requested order.
+			dir := ord
+			if k < q {
+				dir = Order(u >> k & 1)
+			}
+			for j := k - 1; j >= 0; j-- {
+				other := c.Exchange(u^1<<j, key)
+				key = cmpExch(c, less, keepMinAt(u, j, dir), key, other)
+			}
+		}
+		out[u] = key
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// Trace records the evolution of the key vector during a D_sort run: the
+// input followed by one snapshot per compare-exchange step, in recursive-ID
+// order. It reproduces the paper's Figures 5 and 6.
+type Trace[K any] struct {
+	Steps []Step[K]
+}
+
+// Step is one snapshot of the keys after a parallel compare-exchange.
+type Step[K any] struct {
+	Label string // e.g. "level 2 half-merge dim 1"
+	Level int    // sub-dual-cube order being merged (0 for the input row)
+	Dim   int    // recursive dimension of the step (-1 for the input row)
+	Keys  []K    // keys by recursive ID after the step
+}
+
+// dsortSchedule returns the step labels of DSort on D_n in execution
+// order, excluding the input row. Every node executes exactly this
+// schedule, which is what lets the tracer preallocate snapshots.
+func dsortSchedule(n int) []Step[struct{}] {
+	var steps []Step[struct{}]
+	add := func(level, dim int, phase string) {
+		steps = append(steps, Step[struct{}]{
+			Label: fmt.Sprintf("level %d %s dim %d", level, phase, dim),
+			Level: level,
+			Dim:   dim,
+		})
+	}
+	add(1, 0, "base-sort")
+	for l := 2; l <= n; l++ {
+		for j := 2*l - 3; j >= 0; j-- {
+			add(l, j, "half-merge")
+		}
+		for j := 2*l - 2; j >= 0; j-- {
+			add(l, j, "final-merge")
+		}
+	}
+	return steps
+}
+
+// DSort runs Algorithm 3 on the dual-cube D_n: keys[r] is placed on the
+// node with recursive ID r and the result is the sorted permutation in
+// recursive-ID order (ascending or descending per ord, the paper's tag).
+//
+// The recursion of Algorithm 3 is executed iteratively, level by level.
+// At level l every disjoint sub-dual-cube of order l (fixed recursive bits
+// above 2l-2) runs its merge phases simultaneously:
+//
+//   - levels below n sort each quarter alternately ascending/descending
+//     (quarter index even/odd — bit 2l-1 of the recursive ID);
+//   - the half-merge phase (dims 2l-3 .. 0, direction by bit 2l-2) turns
+//     the four sorted quarters into an ascending half and a descending
+//     half, i.e. a bitonic sequence over the sub-dual-cube;
+//   - the final-merge phase (dims 2l-2 .. 0) sorts it in the level's
+//     direction.
+//
+// Every dimension-j step uses dcomm.DimExchange: one cycle for j = 0,
+// three cycles otherwise (half the pairs route through two cross-edges).
+// tr may be nil; when non-nil it receives the Figure 5/6 snapshots.
+func DSort[K any](n int, keys []K, less func(a, b K) bool, ord Order, tr *Trace[K]) ([]K, machine.Stats, error) {
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	if len(keys) != d.Nodes() {
+		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys for %d nodes of %s", len(keys), d.Nodes(), d.Name())
+	}
+
+	// Optional tracing: preallocate one snapshot per scheduled step.
+	var snaps []*Step[K]
+	if tr != nil {
+		tr.Steps = append(tr.Steps, Step[K]{Label: "input", Level: 0, Dim: -1, Keys: append([]K(nil), keys...)})
+		for _, s := range dsortSchedule(n) {
+			tr.Steps = append(tr.Steps, Step[K]{Label: s.Label, Level: s.Level, Dim: s.Dim, Keys: make([]K, d.Nodes())})
+		}
+		for i := 1; i < len(tr.Steps); i++ {
+			snaps = append(snaps, &tr.Steps[i])
+		}
+	}
+
+	out := make([]K, len(keys))
+	eng := machine.New[K](d, machine.Config{})
+	st, err := eng.Run(dsortProgram(d, n, keys, less, ord, out, snaps))
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// DSortRecorded is DSort with full message recording (per-link loads and
+// the space-time event log) for the traffic analysis of experiment E14.
+func DSortRecorded[K any](n int, keys []K, less func(a, b K) bool, ord Order) ([]K, machine.Stats, *machine.Recording, error) {
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return nil, machine.Stats{}, nil, err
+	}
+	if len(keys) != d.Nodes() {
+		return nil, machine.Stats{}, nil, fmt.Errorf("sortnet: %d keys for %d nodes of %s", len(keys), d.Nodes(), d.Name())
+	}
+	out := make([]K, len(keys))
+	eng := machine.New[K](d, machine.Config{})
+	st, rec, err := eng.RunRecorded(dsortProgram(d, n, keys, less, ord, out, nil))
+	if err != nil {
+		return nil, st, nil, err
+	}
+	return out, st, rec, nil
+}
+
+// dsortProgram builds the per-node SPMD program of Algorithm 3. snaps,
+// when non-nil, receives one key snapshot per compare-exchange step.
+func dsortProgram[K any](d *topology.DualCube, n int, keys []K, less func(a, b K) bool, ord Order, out []K, snaps []*Step[K]) func(c *machine.Ctx[K]) {
+	return func(c *machine.Ctx[K]) {
+		r := d.ToRecursive(c.ID())
+		key := keys[r]
+		step := 0
+		record := func() {
+			if snaps != nil {
+				snaps[step].Keys[r] = key
+			}
+			step++
+		}
+		exch := func(j int, dir Order) {
+			other := dcomm.DimExchange(c, d, j, key)
+			key = cmpExch(c, less, keepMinAt(r, j, dir), key, other)
+			record()
+		}
+		for l := 1; l <= n; l++ {
+			// Direction of this sub-dual-cube's own sort: the paper's
+			// recursion sorts quarter i of the enclosing level ascending for
+			// even i, descending for odd i; the top level uses the tag.
+			dir := ord
+			if l < n {
+				dir = Order(r >> (2*l - 1) & 1)
+			}
+			if l > 1 {
+				// Half-merge: ascending in the 0-half of the sub-dual-cube,
+				// descending in the 1-half (paper: direction by u_{2n-2}).
+				for j := 2*l - 3; j >= 0; j-- {
+					exch(j, Order(r>>(2*l-2)&1))
+				}
+			}
+			// Final merge in the sub-dual-cube's direction.
+			for j := 2*l - 2; j >= 0; j-- {
+				exch(j, dir)
+			}
+		}
+		out[r] = key
+	}
+}
+
+// DSortCommSteps returns the exact communication time of our D_sort
+// schedule on D_n: T(1) = 1, T(n) = T(n-1) + 3(2n-3)+1 + 3(2n-2)+1,
+// which solves to 6n²-7n+2.
+func DSortCommSteps(n int) int { return 6*n*n - 7*n + 2 }
+
+// DSortCompSteps returns the comparison rounds of D_sort on D_n:
+// T(1) = 1, T(n) = T(n-1) + (2n-2) + (2n-1) = 2n²-n.
+func DSortCompSteps(n int) int { return 2*n*n - n }
+
+// PaperSortCommBound returns Theorem 2's communication bound, 6n².
+func PaperSortCommBound(n int) int { return 6 * n * n }
+
+// PaperSortCompBound returns Theorem 2's computation bound, 2n².
+func PaperSortCompBound(n int) int { return 2 * n * n }
+
+// CubeSortSteps returns the compare-exchange steps (= communication steps)
+// of bitonic sort on Q_q: q(q+1)/2.
+func CubeSortSteps(q int) int { return q * (q + 1) / 2 }

@@ -1,0 +1,293 @@
+package topology
+
+import "fmt"
+
+// DualCube is the n-connected dual-cube D_n of Li, Peng and Chu.
+//
+// D_n has N = 2^(2n-1) nodes, each of degree n. A node address u has 2n-1
+// bits, split into three parts exactly as in Section 2 of the paper:
+//
+//	bit 2n-2              : class indicator (part III)
+//	bits n-1 .. 2n-3      : part II ("field1" below), n-1 bits
+//	bits 0   .. n-2       : part I  ("field0" below), n-1 bits
+//
+// For a class-0 node, part I is the node ID within its cluster and part II
+// is the cluster ID. For a class-1 node the roles are swapped: part II is
+// the node ID and part I is the cluster ID. Every cluster is an
+// (n-1)-dimensional hypercube formed by the node-ID bits; each node has one
+// cross-edge to the node of the other class with the same 2n-2 low bits.
+// There are 2^(n-1) clusters per class, 2^n clusters in total.
+type DualCube struct {
+	n int // links per node; the paper's n
+	m int // cluster dimension, m = n-1
+}
+
+// MaxDualCubeOrder bounds n so addresses (2n-1 bits) fit easily in an int.
+const MaxDualCubeOrder = 14
+
+// NewDualCube returns D_n. The order must be in [1, MaxDualCubeOrder].
+// D_1 is the single-edge graph K_2 (two one-node clusters joined by the
+// cross-edge).
+func NewDualCube(n int) (*DualCube, error) {
+	if n < 1 || n > MaxDualCubeOrder {
+		return nil, fmt.Errorf("topology: dual-cube order %d out of range [1,%d]", n, MaxDualCubeOrder)
+	}
+	return &DualCube{n: n, m: n - 1}, nil
+}
+
+// MustDualCube is NewDualCube but panics on an invalid order.
+func MustDualCube(n int) *DualCube {
+	d, err := NewDualCube(n)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Order returns n, the number of links per node.
+func (d *DualCube) Order() int { return d.n }
+
+// ClusterDim returns m = n-1, the dimension of each cluster hypercube.
+func (d *DualCube) ClusterDim() int { return d.m }
+
+// ClusterSize returns 2^(n-1), the number of nodes per cluster.
+func (d *DualCube) ClusterSize() int { return 1 << d.m }
+
+// ClustersPerClass returns 2^(n-1).
+func (d *DualCube) ClustersPerClass() int { return 1 << d.m }
+
+// AddressBits returns 2n-1, the number of bits of a node address.
+func (d *DualCube) AddressBits() int { return 2*d.n - 1 }
+
+// Name implements Topology.
+func (d *DualCube) Name() string { return "D_" + itoa(d.n) }
+
+// Nodes implements Topology: N = 2^(2n-1).
+func (d *DualCube) Nodes() int { return 1 << (2*d.n - 1) }
+
+// Degree implements Topology: every node has n-1 intra-cluster links plus
+// one cross-edge.
+func (d *DualCube) Degree(u NodeID) int { return d.n }
+
+// fieldMask is the (n-1)-bit mask for part I / part II.
+func (d *DualCube) fieldMask() int { return (1 << d.m) - 1 }
+
+// classBit is the bit position of the class indicator.
+func (d *DualCube) classBit() int { return 2*d.n - 2 }
+
+// Class returns the class indicator (0 or 1) of u.
+func (d *DualCube) Class(u NodeID) int { return (u >> d.classBit()) & 1 }
+
+// field0 returns part I (the rightmost n-1 bits).
+func (d *DualCube) field0(u NodeID) int { return u & d.fieldMask() }
+
+// field1 returns part II (the middle n-1 bits).
+func (d *DualCube) field1(u NodeID) int { return (u >> d.m) & d.fieldMask() }
+
+// LocalID returns the node ID of u within its cluster: part I for class 0,
+// part II for class 1. Local IDs range over 0..2^(n-1)-1.
+func (d *DualCube) LocalID(u NodeID) int {
+	if d.Class(u) == 0 {
+		return d.field0(u)
+	}
+	return d.field1(u)
+}
+
+// ClusterID returns the cluster ID of u within its class: part II for
+// class 0, part I for class 1.
+func (d *DualCube) ClusterID(u NodeID) int {
+	if d.Class(u) == 0 {
+		return d.field1(u)
+	}
+	return d.field0(u)
+}
+
+// NodeDimOffset returns the position of the least-significant node-ID bit
+// in a full address of the given class: 0 for class 0 (part I) and n-1 for
+// class 1 (part II). Flipping address bit NodeDimOffset(class)+i moves along
+// cluster dimension i.
+func (d *DualCube) NodeDimOffset(class int) int {
+	if class == 0 {
+		return 0
+	}
+	return d.m
+}
+
+// NodeAt assembles a node address from a class, cluster ID and local
+// (within-cluster) node ID.
+func (d *DualCube) NodeAt(class, cluster, local int) NodeID {
+	if class == 0 {
+		return cluster<<d.m | local
+	}
+	return 1<<d.classBit() | local<<d.m | cluster
+}
+
+// CrossNeighbor returns the endpoint of u's single cross-edge: the node of
+// the other class whose address differs from u only in the class bit.
+func (d *DualCube) CrossNeighbor(u NodeID) NodeID { return u ^ 1<<d.classBit() }
+
+// ClusterNeighbor returns u's neighbor along cluster dimension i
+// (0 <= i < n-1): the node of the same cluster whose local ID differs from
+// u's in bit i.
+func (d *DualCube) ClusterNeighbor(u NodeID, i int) NodeID {
+	return u ^ 1<<(d.NodeDimOffset(d.Class(u))+i)
+}
+
+// Neighbors implements Topology: the n-1 intra-cluster neighbors plus the
+// cross neighbor, in ascending ID order.
+func (d *DualCube) Neighbors(u NodeID) []NodeID {
+	ns := make([]NodeID, 0, d.n)
+	for i := 0; i < d.m; i++ {
+		ns = append(ns, d.ClusterNeighbor(u, i))
+	}
+	ns = append(ns, d.CrossNeighbor(u))
+	sortIDs(ns)
+	return ns
+}
+
+// HasEdge implements Topology. Two nodes are adjacent iff they differ in
+// exactly one bit and that bit is either the class bit (cross-edge) or a
+// node-ID bit of their common class (intra-cluster edge). This is the
+// paper's Section 2 definition verbatim.
+func (d *DualCube) HasEdge(u, v NodeID) bool {
+	if !d.Valid(u) || !d.Valid(v) {
+		return false
+	}
+	x := u ^ v
+	if popcount(x) != 1 {
+		return false
+	}
+	if x == 1<<d.classBit() {
+		return true // cross-edge
+	}
+	// Same class; the differing bit must lie in the node-ID field.
+	off := d.NodeDimOffset(d.Class(u))
+	bit := log2(x)
+	return bit >= off && bit < off+d.m
+}
+
+// Valid reports whether u is a node of D_n.
+func (d *DualCube) Valid(u NodeID) bool { return u >= 0 && u < d.Nodes() }
+
+// SameCluster reports whether u and v lie in the same cluster.
+func (d *DualCube) SameCluster(u, v NodeID) bool {
+	return d.Class(u) == d.Class(v) && d.ClusterID(u) == d.ClusterID(v)
+}
+
+// ClusterMembers returns the node addresses of a cluster in ascending local
+// ID order.
+func (d *DualCube) ClusterMembers(class, cluster int) []NodeID {
+	out := make([]NodeID, d.ClusterSize())
+	for local := range out {
+		out[local] = d.NodeAt(class, cluster, local)
+	}
+	return out
+}
+
+// Distance returns the length of a shortest path between u and v using the
+// paper's closed form: the Hamming distance when u and v share a cluster or
+// belong to clusters of distinct classes, and the Hamming distance plus two
+// otherwise (one hop to enter a cluster of the other class and one to
+// leave it).
+func (d *DualCube) Distance(u, v NodeID) int {
+	if u == v {
+		return 0
+	}
+	h := popcount(u ^ v)
+	if d.Class(u) != d.Class(v) || d.SameCluster(u, v) {
+		return h
+	}
+	return h + 2
+}
+
+// Diameter returns the diameter 2n of D_n: one more than the diameter of
+// the hypercube with the same number of nodes (Q_{2n-1}).
+func (d *DualCube) Diameter() int {
+	if d.n == 1 {
+		return 1 // K_2
+	}
+	return 2 * d.n
+}
+
+// Route returns a shortest path from u to v, inclusive of both endpoints.
+// The path realizes the Distance formula:
+//
+//   - same cluster: correct node-ID bits in ascending order;
+//   - distinct classes: correct u's node-ID field to match the
+//     corresponding field of v, take the cross-edge, then correct the
+//     remaining field inside v's cluster;
+//   - same class, distinct clusters: as above but with a second cross-edge
+//     to return to the original class (the "+2").
+func (d *DualCube) Route(u, v NodeID) []NodeID {
+	path := []NodeID{u}
+	cur := u
+	walkField := func(target NodeID) {
+		// Correct the node-ID bits of cur's class toward target's
+		// corresponding bits, ascending.
+		off := d.NodeDimOffset(d.Class(cur))
+		for i := 0; i < d.m; i++ {
+			bit := 1 << (off + i)
+			if (cur^target)&bit != 0 {
+				cur ^= bit
+				path = append(path, cur)
+			}
+		}
+	}
+	cross := func() {
+		cur = d.CrossNeighbor(cur)
+		path = append(path, cur)
+	}
+	switch {
+	case u == v:
+	case d.SameCluster(u, v):
+		walkField(v)
+	case d.Class(u) != d.Class(v):
+		// Fix u's node-ID field (it becomes v's cluster-ID field after the
+		// cross-edge), cross, then fix the other field inside v's cluster.
+		walkField(v)
+		cross()
+		walkField(v)
+	default:
+		// Same class, different clusters: detour through the other class.
+		walkField(v) // node-ID bits first (they are v's node-ID bits too)
+		cross()
+		walkField(v) // in the other class these are the old cluster bits
+		cross()
+	}
+	return path
+}
+
+// log2 returns the position of the single set bit of x (x must be a power
+// of two).
+func log2(x int) int {
+	i := 0
+	for x > 1 {
+		x >>= 1
+		i++
+	}
+	return i
+}
+
+// DataIndex returns the position of node u in the paper's block data layout
+// for parallel prefix (Section 3): element indices are assigned so that the
+// indices held by each cluster are consecutive. Class-0 node addresses are
+// already consecutive per cluster, so DataIndex(u) = u for class 0; for
+// class 1 the two (n-1)-bit fields are swapped — exactly the paper's
+// "swap[(u_{2n-2}...u_{n-1}), (u_{n-2}...u_0)]" — which makes cluster c of
+// class 1 hold block 2^(n-1)+c. DataIndex is an involution.
+func (d *DualCube) DataIndex(u NodeID) int {
+	if d.Class(u) == 0 {
+		return u
+	}
+	return 1<<d.classBit() | d.field0(u)<<d.m | d.field1(u)
+}
+
+// NodeAtDataIndex returns the node holding element idx under the block
+// layout; it is the same field swap (DataIndex is self-inverse).
+func (d *DualCube) NodeAtDataIndex(idx int) NodeID { return d.DataIndex(idx) }
+
+// BlockOf returns the block number (0..2^n-1) of node u under the block
+// layout: the cluster's position in the global element order.
+func (d *DualCube) BlockOf(u NodeID) int {
+	return d.Class(u)<<d.m | d.ClusterID(u)
+}

@@ -1,0 +1,100 @@
+package topology
+
+import "fmt"
+
+// Hypercube is the binary q-cube Q_q: 2^q nodes, two nodes adjacent iff
+// their addresses differ in exactly one bit. It is the reference network the
+// dual-cube is derived from and the substrate of the paper's baseline
+// algorithms (Sections 3 and 5).
+type Hypercube struct {
+	q int
+}
+
+// MaxHypercubeDim bounds the hypercube dimension so that node IDs and edge
+// counts stay comfortably within int range on 32-bit platforms.
+const MaxHypercubeDim = 28
+
+// NewHypercube returns Q_q. The dimension must be in [0, MaxHypercubeDim];
+// Q_0 is the single-node graph.
+func NewHypercube(q int) (*Hypercube, error) {
+	if q < 0 || q > MaxHypercubeDim {
+		return nil, fmt.Errorf("topology: hypercube dimension %d out of range [0,%d]", q, MaxHypercubeDim)
+	}
+	return &Hypercube{q: q}, nil
+}
+
+// MustHypercube is NewHypercube but panics on an invalid dimension. Intended
+// for tests and examples with constant dimensions.
+func MustHypercube(q int) *Hypercube {
+	h, err := NewHypercube(q)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Dim returns the dimension q.
+func (h *Hypercube) Dim() int { return h.q }
+
+// Name implements Topology.
+func (h *Hypercube) Name() string { return "Q_" + itoa(h.q) }
+
+// Nodes implements Topology.
+func (h *Hypercube) Nodes() int { return 1 << h.q }
+
+// Degree implements Topology. Every node of Q_q has degree q.
+func (h *Hypercube) Degree(u NodeID) int { return h.q }
+
+// Neighbors implements Topology: the q nodes obtained by flipping each
+// address bit, in ascending dimension order (which is also ascending ID
+// order interleaved; the contract only requires a duplicate-free list, but
+// we return them sorted for determinism).
+func (h *Hypercube) Neighbors(u NodeID) []NodeID {
+	ns := make([]NodeID, 0, h.q)
+	for i := 0; i < h.q; i++ {
+		ns = append(ns, u^(1<<i))
+	}
+	sortIDs(ns)
+	return ns
+}
+
+// HasEdge implements Topology.
+func (h *Hypercube) HasEdge(u, v NodeID) bool {
+	if !h.valid(u) || !h.valid(v) {
+		return false
+	}
+	return popcount(u^v) == 1
+}
+
+// Distance returns the length of a shortest path between u and v, which in
+// a hypercube is the Hamming distance of the addresses.
+func (h *Hypercube) Distance(u, v NodeID) int { return popcount(u ^ v) }
+
+// Diameter returns the diameter q of Q_q.
+func (h *Hypercube) Diameter() int { return h.q }
+
+// Route returns a shortest path from u to v (inclusive of both endpoints),
+// correcting differing bits in ascending dimension order.
+func (h *Hypercube) Route(u, v NodeID) []NodeID {
+	path := []NodeID{u}
+	cur := u
+	for i := 0; i < h.q; i++ {
+		if (cur^v)&(1<<i) != 0 {
+			cur ^= 1 << i
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+func (h *Hypercube) valid(u NodeID) bool { return u >= 0 && u < h.Nodes() }
+
+// sortIDs sorts a small slice of node IDs in place (insertion sort: the
+// slices involved are neighbor lists, i.e. at most a few dozen entries).
+func sortIDs(a []NodeID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

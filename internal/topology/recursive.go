@@ -1,0 +1,91 @@
+package topology
+
+// Recursive presentation of the dual-cube (Section 4 of the paper).
+//
+// D_n can be relabelled so that it decomposes into four copies of D_{n-1}
+// distinguished by the leftmost two bits of the new ID. Writing a node's
+// original address as (c, A, B) — class bit c, part II A, part I B — the
+// recursive ID interleaves the two fields around the class bit:
+//
+//	rec = c  |  A_0·2^1 | B_0·2^2  |  A_1·2^3 | B_1·2^4  |  ...
+//
+// i.e. bit 0 of rec is the class, bit 2k+1 is A_k, bit 2k+2 is B_k. Under
+// this relabelling the link structure becomes dimension-oriented:
+//
+//   - flipping rec bit 0 is always the cross-edge;
+//   - flipping rec bit 2k+2 (an even dimension) is a direct link iff the
+//     class bit is 0 (these are the class-0 intra-cluster links);
+//   - flipping rec bit 2k+1 (an odd dimension) is a direct link iff the
+//     class bit is 1.
+//
+// This matches the paper's Section 6 observation: for a pair of class-0
+// nodes differing only at bit i > 0 "there is a link between u and v if and
+// only if i is an even number". A pair with the wrong parity is connected
+// by the canonical three-hop path u → ū_0 → (ū_0)_i → ū_i that uses the
+// cross-edges twice.
+//
+// Fixing the two leftmost rec bits (positions 2n-2 and 2n-3) leaves exactly
+// the interleaved ID of a D_{n-1}, giving the four sub-dual-cubes of the
+// recursive construction (Figure 4).
+
+// ToRecursive converts an original node address to its recursive
+// (interleaved) ID.
+func (d *DualCube) ToRecursive(u NodeID) NodeID {
+	c := d.Class(u)
+	a := d.field1(u)
+	b := d.field0(u)
+	r := c
+	for k := 0; k < d.m; k++ {
+		r |= (a >> k & 1) << (2*k + 1)
+		r |= (b >> k & 1) << (2*k + 2)
+	}
+	return r
+}
+
+// FromRecursive converts a recursive (interleaved) ID back to the original
+// node address. It is the inverse of ToRecursive.
+func (d *DualCube) FromRecursive(r NodeID) NodeID {
+	c := r & 1
+	a, b := 0, 0
+	for k := 0; k < d.m; k++ {
+		a |= (r >> (2*k + 1) & 1) << k
+		b |= (r >> (2*k + 2) & 1) << k
+	}
+	return c<<d.classBit() | a<<d.m | b
+}
+
+// RecDims returns the number of recursive dimensions, 2n-1 (dimensions
+// 0..2n-2; dimension j flips rec bit j).
+func (d *DualCube) RecDims() int { return 2*d.n - 1 }
+
+// RecDirect reports whether the pair {r, r^2^j} of recursive IDs is joined
+// by a direct link of D_n: always for j = 0 (the cross-edge), and for j > 0
+// exactly when the parity of j matches the class bit r&1 (even dimensions
+// are direct in class 0, odd dimensions in class 1).
+func (d *DualCube) RecDirect(r NodeID, j int) bool {
+	if j == 0 {
+		return true
+	}
+	if r&1 == 0 {
+		return j%2 == 0
+	}
+	return j%2 == 1
+}
+
+// RecRoute returns the path (in recursive IDs, inclusive of endpoints) used
+// for a dimension-j transfer from r to r^2^j: the direct edge when
+// RecDirect, otherwise the three-hop detour through the cross neighbors,
+// r → r^1 → r^1^2^j → r^2^j.
+func (d *DualCube) RecRoute(r NodeID, j int) []NodeID {
+	if d.RecDirect(r, j) {
+		return []NodeID{r, r ^ 1<<j}
+	}
+	return []NodeID{r, r ^ 1, r ^ 1 ^ 1<<j, r ^ 1<<j}
+}
+
+// RecSubCube returns which of the four D_{n-1} sub-dual-cubes (0..3, the
+// two leftmost recursive bits) the recursive ID r belongs to. Only defined
+// for n >= 2.
+func (d *DualCube) RecSubCube(r NodeID) int {
+	return r >> (2*d.n - 3) & 3
+}

@@ -1,0 +1,188 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecursiveBijection(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		d := MustDualCube(n)
+		seen := make([]bool, d.Nodes())
+		for u := 0; u < d.Nodes(); u++ {
+			r := d.ToRecursive(u)
+			if r < 0 || r >= d.Nodes() {
+				t.Fatalf("D_%d: ToRecursive(%d)=%d out of range", n, u, r)
+			}
+			if seen[r] {
+				t.Fatalf("D_%d: ToRecursive not injective at %d", n, r)
+			}
+			seen[r] = true
+			if d.FromRecursive(r) != u {
+				t.Fatalf("D_%d: FromRecursive(ToRecursive(%d)) = %d", n, u, d.FromRecursive(r))
+			}
+		}
+	}
+}
+
+func TestRecursiveClassBit(t *testing.T) {
+	// Bit 0 of the recursive ID is the class indicator.
+	for n := 1; n <= 5; n++ {
+		d := MustDualCube(n)
+		for u := 0; u < d.Nodes(); u++ {
+			if d.ToRecursive(u)&1 != d.Class(u) {
+				t.Fatalf("D_%d: rec bit0 of %d != class", n, u)
+			}
+		}
+	}
+}
+
+func TestRecursiveCrossEdgeIsDimZero(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		d := MustDualCube(n)
+		for u := 0; u < d.Nodes(); u++ {
+			r := d.ToRecursive(u)
+			if d.FromRecursive(r^1) != d.CrossNeighbor(u) {
+				t.Fatalf("D_%d: rec dim 0 of %d is not the cross-edge", n, u)
+			}
+		}
+	}
+}
+
+// TestRecursiveDirectMatchesEdges verifies the paper's Section 6 parity
+// rule: a recursive dimension-j pair is a direct edge of D_n exactly when
+// RecDirect says so.
+func TestRecursiveDirectMatchesEdges(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		d := MustDualCube(n)
+		for r := 0; r < d.Nodes(); r++ {
+			for j := 0; j < d.RecDims(); j++ {
+				u := d.FromRecursive(r)
+				v := d.FromRecursive(r ^ 1<<j)
+				if got, want := d.RecDirect(r, j), d.HasEdge(u, v); got != want {
+					t.Fatalf("D_%d: RecDirect(r=%d,j=%d)=%v but HasEdge=%v", n, r, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRecursiveEdgeCover verifies the relabelling covers all edges: every
+// edge of D_n is a dimension flip in recursive space.
+func TestRecursiveEdgeCover(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		d := MustDualCube(n)
+		for u := 0; u < d.Nodes(); u++ {
+			ru := d.ToRecursive(u)
+			for _, v := range d.Neighbors(u) {
+				rv := d.ToRecursive(v)
+				if Popcount(ru^rv) != 1 {
+					t.Fatalf("D_%d: edge (%d,%d) is not a single rec-dimension flip (%d vs %d)", n, u, v, ru, rv)
+				}
+			}
+		}
+	}
+}
+
+func TestRecRoute(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		d := MustDualCube(n)
+		for r := 0; r < d.Nodes(); r++ {
+			for j := 0; j < d.RecDims(); j++ {
+				path := d.RecRoute(r, j)
+				if path[0] != r || path[len(path)-1] != r^1<<j {
+					t.Fatalf("D_%d: RecRoute(%d,%d) endpoints wrong", n, r, j)
+				}
+				wantLen := 2
+				if !d.RecDirect(r, j) {
+					wantLen = 4
+				}
+				if len(path) != wantLen {
+					t.Fatalf("D_%d: RecRoute(%d,%d) length %d, want %d", n, r, j, len(path), wantLen)
+				}
+				for i := 1; i < len(path); i++ {
+					a, b := d.FromRecursive(path[i-1]), d.FromRecursive(path[i])
+					if !d.HasEdge(a, b) {
+						t.Fatalf("D_%d: RecRoute(%d,%d) hop %d is not an edge", n, r, j, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRecursiveSubCubesAreDualCubes verifies the recursive construction of
+// Section 4 / Figure 4: fixing the top two recursive bits yields a subgraph
+// isomorphic to D_{n-1} under the natural truncation of recursive IDs, with
+// exactly the same direct-edge structure.
+func TestRecursiveSubCubesAreDualCubes(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		d := MustDualCube(n)
+		sub := MustDualCube(n - 1)
+		subBits := 2*(n-1) - 1
+		for quarter := 0; quarter < 4; quarter++ {
+			hi := quarter << subBits
+			for rs := 0; rs < sub.Nodes(); rs++ {
+				u := d.FromRecursive(hi | rs)
+				// Every sub-dual-cube edge must be an edge of D_n between the
+				// correspondingly embedded nodes, and vice versa within the quarter.
+				for j := 0; j < sub.RecDims(); j++ {
+					v := d.FromRecursive(hi | rs ^ 1<<j)
+					us := sub.FromRecursive(rs)
+					vs := sub.FromRecursive(rs ^ 1<<j)
+					if d.HasEdge(u, v) != sub.HasEdge(us, vs) {
+						t.Fatalf("D_%d quarter %d: edge mismatch at rs=%d j=%d", n, quarter, rs, j)
+					}
+				}
+				if got := d.RecSubCube(hi | rs); got != quarter {
+					t.Fatalf("D_%d: RecSubCube(%d)=%d, want %d", n, hi|rs, got, quarter)
+				}
+			}
+		}
+	}
+}
+
+// TestRecursiveConstructionLinks verifies the links added by the recursive
+// step: flipping the top recursive bit (dimension 2n-2, even) is direct
+// exactly for class-0 nodes, and dimension 2n-3 (odd) for class-1 nodes —
+// "create a link for each pair (xu0...) ..." in the paper's notation.
+func TestRecursiveConstructionLinks(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		d := MustDualCube(n)
+		top, second := 2*n-2, 2*n-3
+		for r := 0; r < d.Nodes(); r++ {
+			wantTop := r&1 == 0
+			if second == 0 {
+				// n = 2: dimension 0 is the cross-edge, always direct.
+				if !d.RecDirect(r, second) {
+					t.Fatalf("D_2: dim 0 must be direct")
+				}
+			} else if got := d.RecDirect(r, second); got != (r&1 == 1) {
+				t.Fatalf("D_%d: RecDirect(r=%d, j=%d)=%v, want %v", n, r, second, got, r&1 == 1)
+			}
+			if got := d.RecDirect(r, top); got != wantTop {
+				t.Fatalf("D_%d: RecDirect(r=%d, j=%d)=%v, want %v", n, r, top, got, wantTop)
+			}
+		}
+	}
+}
+
+func TestRecursiveQuickProperty(t *testing.T) {
+	// Property: for random (n, u), ToRecursive preserves the class bit and
+	// round-trips; and parity rule holds for a random dimension.
+	f := func(nSeed uint8, uSeed uint32, jSeed uint8) bool {
+		n := int(nSeed)%6 + 1
+		d := MustDualCube(n)
+		u := int(uSeed) % d.Nodes()
+		j := int(jSeed) % d.RecDims()
+		r := d.ToRecursive(u)
+		if d.FromRecursive(r) != u || r&1 != d.Class(u) {
+			return false
+		}
+		v := d.FromRecursive(r ^ 1<<j)
+		return d.RecDirect(r, j) == d.HasEdge(u, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
