@@ -1,7 +1,9 @@
 // Benchmarks, one per experiment in DESIGN.md's index. Each measures the
-// wall-clock cost of one full simulated run (goroutine-per-node machine);
-// the step counts the paper's theorems bound are asserted in the unit
-// tests and reported by cmd/dcbench — here we measure the simulator.
+// wall-clock cost of one full simulated run under the configured scheduler
+// (the worker-pool engine by default; BenchmarkSchedulers compares it with
+// the goroutine-per-node engine); the step counts the paper's theorems
+// bound are asserted in the unit tests and reported by cmd/dcbench — here
+// we measure the simulator.
 //
 // Run: go test -bench=. -benchmem
 package dualcube
@@ -49,7 +51,7 @@ func BenchmarkE2Diameter(b *testing.B) {
 
 // BenchmarkE4DPrefix: Algorithm 2 (cluster-technique prefix) on D_n.
 func BenchmarkE4DPrefix(b *testing.B) {
-	for _, n := range []int{2, 3, 4, 5, 6} {
+	for _, n := range []int{2, 3, 4, 5, 6, 7} {
 		in := benchInput(n)
 		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, len(in)), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -167,29 +169,48 @@ func BenchmarkE12SortLarge(b *testing.B) {
 
 // BenchmarkE13Collectives: broadcast, all-reduce and gather at 2n steps.
 func BenchmarkE13Collectives(b *testing.B) {
-	const n = 4
+	for _, n := range []int{4, 7} {
+		in := benchInput(n)
+		b.Run(fmt.Sprintf("Broadcast/D_%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := collective.Broadcast(n, 5, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("AllReduce/D_%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := collective.AllReduce(n, in, monoid.Sum[int]()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Gather/D_%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := collective.Gather(n, 5, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulers runs the same D_prefix workload under both execution
+// engines — the head-to-head behind the scheduler numbers in EXPERIMENTS.md.
+func BenchmarkSchedulers(b *testing.B) {
+	const n = 5
 	in := benchInput(n)
-	b.Run("Broadcast/D_4", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := collective.Broadcast(n, 5, 1); err != nil {
-				b.Fatal(err)
+	for _, s := range []Scheduler{SchedulerWorkerPool, SchedulerGoroutinePerNode} {
+		b.Run(fmt.Sprintf("%v/D_%d", s, n), func(b *testing.B) {
+			SetSimScheduler(s)
+			defer SetSimScheduler(SchedulerWorkerPool)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := prefix.DPrefix(n, in, monoid.Sum[int](), true, nil); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	b.Run("AllReduce/D_4", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := collective.AllReduce(n, in, monoid.Sum[int]()); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("Gather/D_4", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := collective.Gather(n, 5, in); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+		})
+	}
 }
 
 // BenchmarkStepKinds isolates the simulator's per-cycle cost for the two
@@ -198,7 +219,7 @@ func BenchmarkE13Collectives(b *testing.B) {
 func BenchmarkStepKinds(b *testing.B) {
 	d := topology.MustDualCube(4)
 	b.Run("cross-exchange-1cycle", func(b *testing.B) {
-		eng := machine.New[int](d, machine.Config{})
+		eng := machine.MustNew[int](d, machine.Config{})
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Run(func(c *machine.Ctx[int]) {
 				c.Exchange(d.CrossNeighbor(c.ID()), c.ID())
@@ -208,7 +229,7 @@ func BenchmarkStepKinds(b *testing.B) {
 		}
 	})
 	b.Run("routed-exchange-3cycles", func(b *testing.B) {
-		eng := machine.New[int](d, machine.Config{})
+		eng := machine.MustNew[int](d, machine.Config{})
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Run(func(c *machine.Ctx[int]) {
 				// dimension 1 is routed for half the nodes.
@@ -236,7 +257,7 @@ func BenchmarkStepKinds(b *testing.B) {
 func BenchmarkMachineBarrier(b *testing.B) {
 	for _, n := range []int{2, 3, 4, 5} {
 		d := topology.MustDualCube(n)
-		eng := machine.New[int](d, machine.Config{})
+		eng := machine.MustNew[int](d, machine.Config{})
 		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, d.Nodes()), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Run(func(c *machine.Ctx[int]) {

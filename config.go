@@ -1,0 +1,41 @@
+package dualcube
+
+import (
+	"time"
+
+	"dualcube/internal/machine"
+)
+
+// Scheduler selects the simulator execution engine used by all algorithm
+// entry points of this package. See the internal/machine package comment
+// for the semantics; both schedulers produce identical results and Stats.
+type Scheduler = machine.Sched
+
+const (
+	// SchedulerWorkerPool is the default: a stepped scheduler with
+	// W ≈ GOMAXPROCS workers advancing node coroutines cycle-by-cycle and
+	// synchronizing through a W-party sense-reversing barrier.
+	SchedulerWorkerPool Scheduler = machine.SchedWorkerPool
+	// SchedulerGoroutinePerNode is the original engine: one goroutine per
+	// node, an N-party barrier per clock cycle. Slower, but it tolerates
+	// node programs that block on synchronization of their own between
+	// clock boundaries.
+	SchedulerGoroutinePerNode Scheduler = machine.SchedGoroutinePerNode
+)
+
+// SetSimScheduler selects the execution engine for all subsequent
+// simulated runs. The zero value machine.SchedDefault restores the default
+// (the worker pool). Affects process-wide state; intended for program
+// start-up or test setup, not for concurrent reconfiguration.
+func SetSimScheduler(s Scheduler) { machine.SetDefaultSched(s) }
+
+// SetSimTimeout overrides the simulator watchdog for all subsequent runs.
+// The watchdog aborts runs that stop making progress (for example, a node
+// program blocked outside the machine's primitives). d <= 0 restores the
+// default, which scales with machine size: 60s plus 30ms per node.
+func SetSimTimeout(d time.Duration) { machine.SetDefaultTimeout(d) }
+
+// SetSimWorkers overrides the worker-pool size for all subsequent runs.
+// k <= 0 restores the default (GOMAXPROCS). The pool clamps the count to
+// the machine's node count.
+func SetSimWorkers(k int) { machine.SetDefaultWorkers(k) }

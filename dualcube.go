@@ -9,8 +9,8 @@
 //   - the topology itself (addressing, clusters, cross-edges, distance,
 //     routing, and the recursive presentation) via New;
 //   - parallel prefix computation (Algorithm 2 of the paper): 2n
-//     communication steps on a simulated synchronous multicomputer with
-//     one goroutine per node — Prefix, PrefixFunc, PrefixLarge;
+//     communication steps on a simulated synchronous multicomputer —
+//     Prefix, PrefixFunc, PrefixLarge;
 //   - bitonic sorting (Algorithm 3): 6n²-7n+2 communication steps —
 //     Sort, SortFunc, SortLarge;
 //   - collective operations built with the same cluster technique, each

@@ -62,7 +62,11 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 	for j := range out {
 		out[j] = make([]T, N)
 	}
-	eng := machine.New[[]pkt[T]](d, machine.Config{})
+	eng, err := machine.New[[]pkt[T]](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[[]pkt[T]]) {
 		u := c.ID()
 		class := d.Class(u)

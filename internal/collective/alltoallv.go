@@ -45,7 +45,11 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 	for j := range out {
 		out[j] = make([][]T, N)
 	}
-	eng := machine.New[[]vpkt[T]](d, machine.Config{})
+	eng, err := machine.New[[]vpkt[T]](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[[]vpkt[T]]) {
 		u := c.ID()
 		class := d.Class(u)

@@ -57,7 +57,11 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 	rootLocal := d.LocalID(root)
 
 	out := make([]T, d.Nodes())
-	eng := machine.New[T](d, machine.Config{})
+	eng, err := machine.New[T](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[T]) {
 		u := c.ID()
 		class, local := d.Class(u), d.LocalID(u)
@@ -166,7 +170,11 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 	}
 	mdim := d.ClusterDim()
 	out := make([]T, d.Nodes())
-	eng := machine.New[T](d, machine.Config{})
+	eng, err := machine.New[T](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[T]) {
 		u := c.ID()
 		local := d.LocalID(u)

@@ -61,7 +61,11 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 	rootLocal := d.LocalID(root)
 
 	out := make([]T, d.Nodes())
-	eng := machine.New[[]item[T]](d, machine.Config{LinkCapacity: 4})
+	eng, err := machine.New[[]item[T]](d, machine.Config{LinkCapacity: 4})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
 		u := c.ID()
 		class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)

@@ -47,7 +47,11 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 	rootLocal := d.LocalID(root)
 
 	out := make([]T, d.Nodes())
-	eng := machine.New[[]item[T]](d, machine.Config{})
+	eng, err := machine.New[[]item[T]](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
 		u := c.ID()
 		class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
@@ -171,7 +175,11 @@ func AllGather[T any](n int, in []T) ([][]T, machine.Stats, error) {
 	}
 	m := d.ClusterDim()
 	out := make([][]T, d.Nodes())
-	eng := machine.New[[]item[T]](d, machine.Config{})
+	eng, err := machine.New[[]item[T]](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
 		u := c.ID()
 		idx := d.DataIndex(u)

@@ -20,7 +20,7 @@ func TestCyclesForDim(t *testing.T) {
 
 func TestClusterAndCrossExchange(t *testing.T) {
 	d := topology.MustDualCube(3)
-	eng := machine.New[int](d, machine.Config{})
+	eng := machine.MustNew[int](d, machine.Config{})
 	got := make([][]int, d.Nodes())
 	st, err := eng.Run(func(c *machine.Ctx[int]) {
 		u := c.ID()
@@ -56,7 +56,7 @@ func TestDimExchangeAllDims(t *testing.T) {
 	for n := 1; n <= 4; n++ {
 		d := topology.MustDualCube(n)
 		for j := 0; j < d.RecDims(); j++ {
-			eng := machine.New[int](d, machine.Config{})
+			eng := machine.MustNew[int](d, machine.Config{})
 			got := make([]int, d.Nodes())
 			st, err := eng.Run(func(c *machine.Ctx[int]) {
 				r := d.ToRecursive(c.ID())
@@ -83,7 +83,7 @@ func TestDimExchangeAllDims(t *testing.T) {
 // between steps.
 func TestDimExchangeSequence(t *testing.T) {
 	d := topology.MustDualCube(3)
-	eng := machine.New[int](d, machine.Config{})
+	eng := machine.MustNew[int](d, machine.Config{})
 	sum := make([]int, d.Nodes())
 	_, err := eng.Run(func(c *machine.Ctx[int]) {
 		r := d.ToRecursive(c.ID())

@@ -51,7 +51,11 @@ func run[T any](n int, init []T, step StepFunc[T], descend bool) ([]T, machine.S
 	}
 	order := dims(d.RecDims(), descend)
 	out := make([]T, len(init))
-	eng := machine.New[T](d, machine.Config{})
+	eng, err := machine.New[T](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[T]) {
 		r := d.ToRecursive(c.ID())
 		v := init[r]
@@ -95,7 +99,11 @@ func cubeRun[T any](q int, init []T, step StepFunc[T], descend bool) ([]T, machi
 	}
 	order := dims(q, descend)
 	out := make([]T, len(init))
-	eng := machine.New[T](h, machine.Config{})
+	eng, err := machine.New[T](h, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[T]) {
 		u := c.ID()
 		v := init[u]

@@ -1,16 +1,29 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Ctx is a node's handle onto the machine: its identity, its links and the
 // global clock. Every public method that communicates advances the clock by
 // exactly one cycle on this node; the SPMD discipline is that all nodes
 // advance together, so a node with nothing to do in a cycle calls Idle.
 type Ctx[T any] struct {
-	engine *Engine[T]
+	engine *engineState[T]
 	id     int
 	ops    int
-	cycle  int // this node's local clock (== global clock under lockstep)
+	cycle  int   // this node's local clock (== global clock under lockstep)
+	msgs   int64 // messages sent by this node, merged into Stats at run end
+
+	// Exactly one of the following is set per run, selecting the clock
+	// boundary mechanism: yield parks this node's persistent coroutine until
+	// its worker reaches the next cycle (worker pool; the false payload
+	// distinguishes a clock boundary from the coroutine's between-runs
+	// park); a nil yield routes through the engine's N-party Barrier
+	// (goroutine-per-node).
+	yield  func(bool) bool
+	worker *poolWorker
 }
 
 // ID returns this node's ID.
@@ -79,21 +92,37 @@ func (c *Ctx[T]) Recv2(from1, from2 int) (T, T) {
 }
 
 // step is the single clock-cycle primitive: at most one send, at most two
-// receives, one barrier. All other methods delegate here.
+// receives, one clock boundary. All other methods delegate here.
 func (c *Ctx[T]) step(sendTo int, v T, recv1, recv2 int) (T, T) {
 	e := c.engine
 	if sendTo != NoNode {
-		i := indexOf(e.nbrs[c.id], sendTo)
+		i := e.idxOf(c.id, sendTo)
 		if i < 0 {
 			c.failf("node %d: send to %d, which is not a neighbor", c.id, sendTo)
 		}
-		select {
-		case e.out[c.id][i] <- v:
-		default:
+		s := int(e.offs[c.id]) + i
+		tail := e.tails[s] // producer-owned cursor: plain read is always safe
+		var head uint32
+		if e.atomicLinks {
+			head = atomic.LoadUint32(&e.heads[s])
+		} else {
+			head = e.heads[s]
+		}
+		if tail-head >= e.ringCap {
 			c.failf("node %d: link %d->%d buffer overflow (capacity %d)", c.id, c.id, sendTo, e.cfg.LinkCapacity)
 		}
-		e.messages.Add(1)
-		e.anySent.Store(true)
+		e.buf[uint32(s)*e.ringSize+tail&e.ringMask] = v
+		if e.atomicLinks {
+			atomic.StoreUint32(&e.tails[s], tail+1)
+		} else {
+			e.tails[s] = tail + 1
+		}
+		c.msgs++
+		if c.worker != nil {
+			c.worker.sent = true
+		} else {
+			e.anySent.Store(true)
+		}
 		if e.onSend != nil {
 			e.onSend(c, sendTo)
 		}
@@ -101,7 +130,14 @@ func (c *Ctx[T]) step(sendTo int, v T, recv1, recv2 int) (T, T) {
 	if recv1 != NoNode && recv1 == recv2 {
 		c.failf("node %d: duplicate receive from %d in one cycle", c.id, recv1)
 	}
-	if err := e.bar.Wait(); err != nil {
+	if c.yield != nil {
+		if !c.yield(false) || e.state == roundAbort {
+			// A false return means the engine is being torn down with this
+			// program still live; roundAbort is the barrier leader routing
+			// every worker into the drain pass after a recorded failure.
+			panic(abortPanic{ErrAborted})
+		}
+	} else if err := e.bar.Wait(); err != nil {
 		panic(abortPanic{err})
 	}
 	c.cycle++
@@ -116,21 +152,37 @@ func (c *Ctx[T]) step(sendTo int, v T, recv1, recv2 int) (T, T) {
 }
 
 // recvNow pops the oldest pending message on the link from -> id. It never
-// blocks: by the time the barrier has released us, every message of the
-// current cycle has been posted, so an empty channel is a protocol error.
+// blocks: by the time the clock boundary has released us, every message of
+// the current cycle has been posted, so an empty link is a protocol error.
+// The incoming slot is read from the precomputed inSlot table; no adjacency
+// scan happens here.
 func (c *Ctx[T]) recvNow(from int) T {
 	e := c.engine
-	i := indexOf(e.nbrs[c.id], from)
+	i := e.idxOf(c.id, from)
 	if i < 0 {
 		c.failf("node %d: receive from %d, which is not a neighbor", c.id, from)
 	}
-	select {
-	case v := <-e.in[c.id][i]:
-		return v
-	default:
-		c.failf("node %d: receive from %d on an empty link", c.id, from)
-		panic("unreachable")
+	s := int(e.inSlot[int(e.offs[c.id])+i])
+	head := e.heads[s] // consumer-owned cursor: plain read is always safe
+	var tail uint32
+	if e.atomicLinks {
+		tail = atomic.LoadUint32(&e.tails[s])
+	} else {
+		tail = e.tails[s]
 	}
+	if tail == head {
+		c.failf("node %d: receive from %d on an empty link", c.id, from)
+	}
+	idx := uint32(s)*e.ringSize + head&e.ringMask
+	v := e.buf[idx]
+	var zero T
+	e.buf[idx] = zero // release references held by the buffered element
+	if e.atomicLinks {
+		atomic.StoreUint32(&e.heads[s], head+1)
+	} else {
+		e.heads[s] = head + 1
+	}
+	return v
 }
 
 // failf aborts the whole run with a formatted protocol error and unwinds

@@ -1,8 +1,7 @@
 // Package machine implements the synchronous message-passing multicomputer
 // that the paper's cost model assumes: one process per node of an
-// interconnection network, links as bidirectional channels, and a global
-// clock. Every node runs the same SPMD program as its own goroutine; each
-// Go channel carries one direction of one link; a reusable barrier advances
+// interconnection network, links as bidirectional FIFO channels, and a
+// global clock. Every node runs the same SPMD program; a barrier advances
 // the global clock.
 //
 // # Communication model
@@ -23,17 +22,64 @@
 // or a link buffer overflow aborts the whole run with a descriptive error —
 // the machine is also a protocol checker for the algorithms above it.
 //
-// # Accounting
+// # Execution engines
+//
+// Two schedulers implement the model; both observe identical semantics
+// (same outputs, same Stats, same protocol errors) for well-formed SPMD
+// programs, which the differential tests assert.
+//
+// SchedWorkerPool (the default) is a stepped worker-pool scheduler:
+// W ≈ GOMAXPROCS workers each own a contiguous shard of nodes and advance
+// them cycle-by-cycle for the whole run. Each node program runs as a
+// coroutine (iter.Pull) that parks at every clock boundary, so resuming a
+// node is a direct stack switch with no Go-scheduler involvement, no
+// per-node goroutine wakeup, and no N-party lock contention. Node
+// coroutines are created once and persist across runs of the same engine
+// (parking between runs), so repeated runs pay no per-node setup. Workers
+// synchronize once per cycle through a sense-reversing barrier over W
+// parties (not N), whose leader performs the per-cycle accounting and
+// detects desynchronized programs deterministically. Message and operation
+// counters are kept per-node/per-worker and merged once at run end — there
+// are no shared atomics on the hot path, and with a single worker the whole
+// simulation is lock-free straight-line code.
+//
+// SchedGoroutinePerNode is the original engine — one goroutine per node,
+// all N parties meeting in one barrier per cycle. It is kept for
+// differential testing and for the rare program that performs its own
+// blocking synchronization between node programs outside the machine's
+// primitives (worker-pool shards serialize node segments within a cycle, so
+// such out-of-model blocking would deadlock a shard; none of the paper's
+// algorithms do this — node programs must communicate only through links).
+//
+// # Cost-model invariants
 //
 // The engine counts clock cycles (communication time), cycles in which at
 // least one message was sent, total messages (= hops, since every send
 // traverses one link), and per-node computation rounds reported by the
 // programs through Ctx.Ops. The maximum per-node operation count is the
-// parallel computation time the paper's theorems bound.
+// parallel computation time the paper's theorems bound. Both schedulers
+// preserve these measures exactly: Cycles is the number of barrier rounds,
+// CommCycles counts rounds whose preceding send phase carried at least one
+// message, Messages is the sum of per-node send counts, and MaxOps/TotalOps
+// aggregate the per-node operation accounts. Scheduling order inside a
+// cycle is deterministic in the worker pool (shard order), so repeated runs
+// produce identical results bit-for-bit.
+//
+// # Link representation
+//
+// Links are single-producer single-consumer ring buffers in one flat
+// allocation, indexed by a precomputed CSR adjacency table: for every
+// directed edge the engine stores the reverse-edge slot (inSlot), so sends
+// and receives resolve a neighbor to its link in O(log degree) via binary
+// search over the sorted neighbor row instead of the linear indexOf scan of
+// the original engine, and never search the peer's adjacency list.
 package machine
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +90,70 @@ import (
 // NoNode marks an absent peer in the low-level step call.
 const NoNode = -1
 
+// Sched selects the execution engine of a run. See the package comment for
+// the two schedulers' trade-offs.
+type Sched uint8
+
+const (
+	// SchedDefault resolves to the package default (SchedWorkerPool unless
+	// overridden with SetDefaultSched).
+	SchedDefault Sched = iota
+	// SchedWorkerPool is the stepped worker-pool scheduler.
+	SchedWorkerPool
+	// SchedGoroutinePerNode is the original goroutine-per-node engine.
+	SchedGoroutinePerNode
+)
+
+func (s Sched) String() string {
+	switch s {
+	case SchedWorkerPool:
+		return "worker-pool"
+	case SchedGoroutinePerNode:
+		return "goroutine-per-node"
+	default:
+		return "default"
+	}
+}
+
+// Package-level defaults, overridable by embedding applications (the public
+// dualcube facade exposes them). Config fields always win over these.
+var (
+	defaultTimeout atomic.Int64 // nanoseconds; 0 = scale with node count
+	defaultSched   atomic.Int32 // Sched; SchedDefault = worker pool
+	defaultWorkers atomic.Int32 // 0 = GOMAXPROCS
+)
+
+// SetDefaultTimeout overrides the watchdog timeout used by engines whose
+// Config leaves Timeout zero. d <= 0 restores the built-in scaling default
+// (60s plus 30ms per node, so large machines are not aborted spuriously).
+func SetDefaultTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	defaultTimeout.Store(int64(d))
+}
+
+// SetDefaultSched overrides the scheduler used by engines whose Config
+// leaves Sched as SchedDefault.
+func SetDefaultSched(s Sched) { defaultSched.Store(int32(s)) }
+
+// SetDefaultWorkers overrides the worker count used by worker-pool engines
+// whose Config leaves Workers zero. k <= 0 restores GOMAXPROCS.
+func SetDefaultWorkers(k int) {
+	if k < 0 {
+		k = 0
+	}
+	defaultWorkers.Store(int32(k))
+}
+
+// scaledTimeout is the built-in watchdog default: a base of one minute plus
+// 30ms per node, so the ceiling grows with the machine instead of starving
+// large-n runs (the original fixed 60s default could be exceeded spuriously
+// by big bitonic sorts under instrumentation).
+func scaledTimeout(n int) time.Duration {
+	return 60*time.Second + time.Duration(n)*30*time.Millisecond
+}
+
 // Config tunes an Engine.
 type Config struct {
 	// LinkCapacity is the per-directed-link buffer depth. The paper's
@@ -51,16 +161,49 @@ type Config struct {
 	// 4 leaves headroom while still catching runaway protocols.
 	LinkCapacity int
 	// Timeout aborts a run that stops making progress (for example because
-	// a buggy program desynchronized the lockstep). Default 60s.
+	// a buggy program blocked outside the machine's primitives). Zero means
+	// the package default: SetDefaultTimeout's value if set, otherwise 60s
+	// plus 30ms per node.
 	Timeout time.Duration
+	// Sched selects the execution engine. SchedDefault resolves to the
+	// package default (worker pool unless overridden with SetDefaultSched).
+	Sched Sched
+	// Workers is the worker-pool size W. Zero means the package default
+	// (SetDefaultWorkers's value if set, otherwise GOMAXPROCS); the engine
+	// clamps W to the node count.
+	Workers int
 }
 
-func (c Config) withDefaults() Config {
+// withDefaults resolves zero Config fields against the package defaults for
+// a machine of n nodes.
+func (c Config) withDefaults(n int) Config {
 	if c.LinkCapacity <= 0 {
 		c.LinkCapacity = 4
 	}
 	if c.Timeout <= 0 {
-		c.Timeout = 60 * time.Second
+		if d := time.Duration(defaultTimeout.Load()); d > 0 {
+			c.Timeout = d
+		} else {
+			c.Timeout = scaledTimeout(n)
+		}
+	}
+	if c.Sched == SchedDefault {
+		c.Sched = Sched(defaultSched.Load())
+		if c.Sched == SchedDefault {
+			c.Sched = SchedWorkerPool
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = int(defaultWorkers.Load())
+		if c.Workers <= 0 {
+			c.Workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	if c.Workers > n {
+		c.Workers = n
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -75,54 +218,276 @@ type Stats struct {
 	TotalOps   int64 // sum of computation rounds over all nodes
 }
 
-// Engine is a synchronous multicomputer over a fixed topology. An Engine is
-// reusable (Run may be called repeatedly) but not concurrently.
-type Engine[T any] struct {
-	topo topology.Topology
-	cfg  Config
-	n    int
-	nbrs [][]int    // nbrs[u]: sorted neighbor list of u
-	out  [][]chan T // out[u][i]: channel for the directed link u -> nbrs[u][i]
-	in   [][]chan T // in[u][i]: channel for the directed link nbrs[u][i] -> u
+// Add returns the combined cost of two phases of a composite algorithm that
+// ran on the same machine: cycles, messages and operation rounds accumulate,
+// while the node count carries through unchanged. A zero Stats value is the
+// identity. Add panics if the phases report different non-zero node counts —
+// two machine sizes cannot be meaningfully combined (and bitwise tricks on
+// the counts, as an earlier samplesort revision attempted, silently corrupt
+// the statistics).
+func (a Stats) Add(b Stats) Stats {
+	nodes := a.Nodes
+	if nodes == 0 {
+		nodes = b.Nodes
+	} else if b.Nodes != 0 && b.Nodes != nodes {
+		panic(fmt.Sprintf("machine: Stats.Add combining phases of different machines (%d vs %d nodes)", a.Nodes, b.Nodes))
+	}
+	return Stats{
+		Nodes:      nodes,
+		Cycles:     a.Cycles + b.Cycles,
+		CommCycles: a.CommCycles + b.CommCycles,
+		Messages:   a.Messages + b.Messages,
+		MaxOps:     a.MaxOps + b.MaxOps,
+		TotalOps:   a.TotalOps + b.TotalOps,
+	}
+}
 
-	bar      *Barrier
-	cycles   atomic.Int64
-	commCyc  atomic.Int64
-	messages atomic.Int64
-	anySent  atomic.Bool
-	onSend   func(c *Ctx[T], dst int) // optional per-run send hook (recording)
+// roundState is the worker-barrier leader's verdict for one clock cycle.
+type roundState uint8
+
+const (
+	roundRun   roundState = iota // all nodes still stepping: keep going
+	roundDone                    // every node finished: stop cleanly
+	roundAbort                   // failure recorded or desync detected: drain
+)
+
+// engineState is the part of an engine that node programs (through their
+// Ctx) and pool workers touch. It is deliberately separate from the
+// user-facing Engine handle: persistent node coroutines keep engineState
+// reachable from their parked stacks, and keeping the handle out of that
+// reference chain lets the runtime collect a dropped handle and run its
+// teardown (which unwinds those coroutines). Nothing in engineState may
+// ever point back at the Engine.
+type engineState[T any] struct {
+	cfg Config
+	n   int
+
+	// Precomputed CSR adjacency and per-edge index tables. Directed edge
+	// slot s = offs[u]+i carries messages u -> nbrs[s]; inSlot[s] is the
+	// slot of the reverse edge nbrs[s] -> u, so receives resolve their link
+	// without touching the peer's adjacency row.
+	offs   []int32
+	nbrs   []int32
+	inSlot []int32
+
+	// SPSC ring buffers, one per directed edge slot, in a single flat
+	// allocation. Cursors grow monotonically (uint32 wraparound is fine);
+	// slot s occupies buf[s*ringSize : (s+1)*ringSize].
+	ringCap  uint32 // logical capacity (cfg.LinkCapacity)
+	ringSize uint32 // physical size: LinkCapacity rounded up to a power of 2
+	ringMask uint32
+	buf      []T
+	heads    []uint32 // consumer cursors, written by the receiving node only
+	tails    []uint32 // producer cursors, written by the sending node only
+
+	// atomicLinks selects atomic ring-cursor access. Required whenever link
+	// endpoints can run on different OS threads (goroutine-per-node, or a
+	// worker pool with W > 1); a single-worker pool runs the whole machine
+	// on one goroutine and uses plain loads/stores.
+	atomicLinks bool
+
+	nodes []Ctx[T] // per-node contexts, reused across runs
+
+	cycles     int                      // barrier rounds completed (leader-written)
+	commCycles int                      // rounds whose send phase carried traffic
+	onSend     func(c *Ctx[T], dst int) // optional per-run send hook (recording)
+	prog       func(c *Ctx[T])          // current run's program; nil between runs
+
+	// Worker-pool scheduler state.
+	workers []poolWorker
+	wbar    *senseBarrier
+	state   roundState
+
+	// Goroutine-per-node scheduler state.
+	bar     *Barrier
+	anySent atomic.Bool
 
 	failMu   sync.Mutex
+	failed   atomic.Bool
 	firstErr error
 }
 
-// New builds an engine over t. Channel wiring is O(N * degree).
-func New[T any](t topology.Topology, cfg Config) *Engine[T] {
-	cfg = cfg.withDefaults()
+// engineKey identifies a reusable engine in the free list: element type,
+// topology identity (name, node and edge counts — the repo's topologies are
+// canonical by name), and the fully resolved configuration.
+type engineKey struct {
+	typ   reflect.Type
+	name  string
+	nodes int
+	edges int
+	cfg   Config
+}
+
+// freeEngines holds released engines for reuse by New, keyed by engineKey.
+// Values are *engineStack. Constructing an engine costs O(N · degree)
+// allocation (adjacency tables, link rings, node contexts, and on the pool
+// scheduler one coroutine per node) — significant relative to a short run,
+// so the algorithm layers return their engines here instead of discarding
+// them.
+var freeEngines sync.Map
+
+type engineStack struct {
+	mu sync.Mutex
+	s  []any
+}
+
+// maxFreeEngines bounds each free-list stack so pathological churn over
+// many distinct machines cannot pin unbounded memory.
+const maxFreeEngines = 4
+
+// Engine is a synchronous multicomputer over a fixed topology. An Engine is
+// reusable (Run may be called repeatedly) but not concurrently.
+type Engine[T any] struct {
+	*engineState[T]
+
+	topo     topology.Topology
+	key      engineKey
+	released bool
+
+	// runners holds the persistent per-node coroutines of the worker-pool
+	// scheduler, created lazily on the first run and parked between runs.
+	// The holder never references the Engine, so the teardown finalizer
+	// (which stops any parked coroutines of a dropped engine) does not keep
+	// the handle alive.
+	runners *runnerSet
+}
+
+// runnerSet is the indirection the teardown finalizer captures.
+type runnerSet struct {
+	rs []nodeRunner
+}
+
+// New builds an engine over t, or reports an error if t is not a symmetric
+// simple graph (every directed edge must have a reverse edge so links can be
+// full-duplex). Table construction is O(N · degree · log degree).
+//
+// If a previously Released engine matches (same element type, topology
+// identity and configuration), it is recycled instead of rebuilt.
+func New[T any](t topology.Topology, cfg Config) (*Engine[T], error) {
 	n := t.Nodes()
-	e := &Engine[T]{topo: t, cfg: cfg, n: n}
-	e.nbrs = make([][]int, n)
-	e.out = make([][]chan T, n)
-	e.in = make([][]chan T, n)
+	cfg = cfg.withDefaults(n)
+
+	edges := 0
 	for u := 0; u < n; u++ {
-		e.nbrs[u] = t.Neighbors(u)
-		e.out[u] = make([]chan T, len(e.nbrs[u]))
-		e.in[u] = make([]chan T, len(e.nbrs[u]))
-		for i := range e.nbrs[u] {
-			e.out[u][i] = make(chan T, cfg.LinkCapacity)
+		edges += t.Degree(u)
+	}
+	key := engineKey{typ: reflect.TypeFor[T](), name: t.Name(), nodes: n, edges: edges, cfg: cfg}
+	if v, ok := freeEngines.Load(key); ok {
+		st := v.(*engineStack)
+		st.mu.Lock()
+		var recycled *Engine[T]
+		if k := len(st.s); k > 0 {
+			recycled = st.s[k-1].(*Engine[T])
+			st.s = st.s[:k-1]
+		}
+		st.mu.Unlock()
+		if recycled != nil {
+			recycled.topo = t
+			recycled.released = false
+			return recycled, nil
 		}
 	}
-	// Wire in[u][i] to the out channel of the reverse direction.
+
+	s := &engineState[T]{cfg: cfg, n: n}
+	s.offs = make([]int32, n+1)
 	for u := 0; u < n; u++ {
-		for i, v := range e.nbrs[u] {
-			j := indexOf(e.nbrs[v], u)
-			if j < 0 {
-				panic(fmt.Sprintf("machine: topology %s is asymmetric at edge (%d,%d)", t.Name(), u, v))
-			}
-			e.in[u][i] = e.out[v][j]
+		s.offs[u+1] = s.offs[u] + int32(t.Degree(u))
+	}
+	s.nbrs = make([]int32, edges)
+	for u := 0; u < n; u++ {
+		row := s.nbrs[s.offs[u]:s.offs[u+1]]
+		for i, v := range t.Neighbors(u) {
+			row[i] = int32(v)
 		}
+		// The Topology contract promises ascending neighbor lists, but the
+		// index tables depend on it, so enforce rather than trust.
+		if !sort.SliceIsSorted(row, func(a, b int) bool { return row[a] < row[b] }) {
+			sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		}
+	}
+	s.inSlot = make([]int32, edges)
+	for u := 0; u < n; u++ {
+		for sl := s.offs[u]; sl < s.offs[u+1]; sl++ {
+			v := int(s.nbrs[sl])
+			j := s.idxOf(v, u)
+			if j < 0 {
+				return nil, fmt.Errorf("machine: topology %s is asymmetric at edge (%d,%d)", t.Name(), u, v)
+			}
+			s.inSlot[sl] = s.offs[v] + int32(j)
+		}
+	}
+
+	s.ringCap = uint32(cfg.LinkCapacity)
+	s.ringSize = 1
+	for s.ringSize < s.ringCap {
+		s.ringSize <<= 1
+	}
+	s.ringMask = s.ringSize - 1
+	s.buf = make([]T, edges*int(s.ringSize))
+	s.heads = make([]uint32, edges)
+	s.tails = make([]uint32, edges)
+
+	s.nodes = make([]Ctx[T], n)
+	for u := range s.nodes {
+		s.nodes[u].engine = s
+		s.nodes[u].id = u
+	}
+
+	e := &Engine[T]{engineState: s, topo: t, key: key, runners: &runnerSet{}}
+	return e, nil
+}
+
+// MustNew is New, panicking on error. Intended for tests, benchmarks and
+// examples running on topologies that are symmetric by construction.
+func MustNew[T any](t topology.Topology, cfg Config) *Engine[T] {
+	e, err := New[T](t, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return e
+}
+
+// Release returns the engine to the package free list for reuse by a later
+// New call with the same element type, topology identity and configuration.
+// The caller must not use the engine afterwards. Releasing is optional —
+// an engine that is simply dropped is collected as usual (a finalizer
+// unwinds its parked node coroutines), it just cannot be recycled.
+func (e *Engine[T]) Release() {
+	if e.released {
+		panic("machine: Engine.Release called twice")
+	}
+	// Never recycle an engine whose links may hold residue: a failed run
+	// already drained them, but an engine that never ran an errored program
+	// since is indistinguishable here, so drain again — it is O(edges) on
+	// empty rings.
+	e.drainLinks()
+	e.released = true
+	e.onSend = nil
+	v, _ := freeEngines.LoadOrStore(e.key, &engineStack{})
+	st := v.(*engineStack)
+	st.mu.Lock()
+	if len(st.s) < maxFreeEngines {
+		st.s = append(st.s, e)
+		e = nil
+	}
+	st.mu.Unlock()
+	if e != nil {
+		// Free list full: tear the engine down now instead of waiting for
+		// the finalizer, unwinding its parked coroutines deterministically.
+		teardownRunners(e.runners)
+	}
+}
+
+// teardownRunners unwinds every parked node coroutine. Runs either
+// explicitly (free-list eviction) or as the finalizer of a dropped Engine;
+// iter.Pull's stop is idempotent, so the two cannot conflict.
+func teardownRunners(h *runnerSet) {
+	for i := range h.rs {
+		if h.rs[i].stop != nil {
+			h.rs[i].stop()
+		}
+	}
+	h.rs = nil
 }
 
 // Topology returns the network the engine runs on.
@@ -131,65 +496,85 @@ func (e *Engine[T]) Topology() topology.Topology { return e.topo }
 // Nodes returns the number of nodes.
 func (e *Engine[T]) Nodes() int { return e.n }
 
+// Sched returns the scheduler this engine resolved to.
+func (e *Engine[T]) Sched() Sched { return e.cfg.Sched }
+
+// idxOf returns the position of v in u's sorted neighbor row, or -1. Binary
+// search over the CSR row: O(log degree), no allocation.
+func (s *engineState[T]) idxOf(u, v int) int {
+	row := s.nbrs[s.offs[u]:s.offs[u+1]]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(row[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && int(row[lo]) == v {
+		return lo
+	}
+	return -1
+}
+
 // abortPanic unwinds a node program after the run has been failed.
 type abortPanic struct{ err error }
 
 // Run executes program on every node in lockstep and returns the cost
 // statistics. The program must perform the same number of clock cycles on
-// every node (the usual SPMD discipline); the engine's watchdog converts a
-// desynchronized or deadlocked run into an error.
+// every node (the usual SPMD discipline); a desynchronized program is
+// reported as an error — deterministically by the worker-pool scheduler's
+// barrier leader, via the watchdog by the goroutine-per-node engine.
 func (e *Engine[T]) Run(program func(c *Ctx[T])) (Stats, error) {
 	return e.run(program, nil)
 }
 
 // run is the engine core shared by Run and RunRecorded.
 func (e *Engine[T]) run(program func(c *Ctx[T]), onSend func(c *Ctx[T], dst int)) (Stats, error) {
-	e.onSend = onSend
-	e.cycles.Store(0)
-	e.commCyc.Store(0)
-	e.messages.Store(0)
-	e.anySent.Store(false)
-	e.firstErr = nil
-	e.bar = NewBarrier(e.n, e.leaderAction)
+	if e.released {
+		panic("machine: Engine used after Release")
+	}
+	s := e.engineState
+	s.onSend = onSend
+	s.cycles = 0
+	s.commCycles = 0
+	s.anySent.Store(false)
+	s.failed.Store(false)
+	s.failMu.Lock()
+	s.firstErr = nil
+	s.failMu.Unlock()
+	for u := range s.nodes {
+		c := &s.nodes[u]
+		c.ops, c.cycle, c.msgs = 0, 0, 0
+		c.worker = nil
+	}
 
-	watchdog := time.AfterFunc(e.cfg.Timeout, func() {
-		e.fail(fmt.Errorf("machine: run exceeded %v (desynchronized program?)", e.cfg.Timeout))
+	watchdog := time.AfterFunc(s.cfg.Timeout, func() {
+		s.fail(fmt.Errorf("machine: run exceeded %v (desynchronized program?)", s.cfg.Timeout))
 	})
 	defer watchdog.Stop()
 
-	ops := make([]int, e.n)
-	var wg sync.WaitGroup
-	wg.Add(e.n)
-	for u := 0; u < e.n; u++ {
-		go func(u int) {
-			defer wg.Done()
-			ctx := &Ctx[T]{engine: e, id: u}
-			defer func() {
-				ops[u] = ctx.ops
-				if r := recover(); r != nil {
-					if ap, ok := r.(abortPanic); ok {
-						e.fail(ap.err)
-						return
-					}
-					e.fail(fmt.Errorf("machine: node %d panicked: %v", u, r))
-				}
-			}()
-			program(ctx)
-		}(u)
+	switch s.cfg.Sched {
+	case SchedGoroutinePerNode:
+		s.atomicLinks = true
+		s.runGoroutines(program)
+	default:
+		s.atomicLinks = s.cfg.Workers > 1
+		e.runWorkers(program)
 	}
-	wg.Wait()
 	watchdog.Stop()
 
-	e.failMu.Lock()
-	err := e.firstErr
-	e.failMu.Unlock()
+	s.failMu.Lock()
+	err := s.firstErr
+	s.failMu.Unlock()
 	if err == nil {
 		// Protocol hygiene: every sent message must have been consumed.
 	hygiene:
-		for u := 0; u < e.n; u++ {
-			for i, ch := range e.out[u] {
-				if len(ch) != 0 {
-					err = fmt.Errorf("machine: %d unconsumed message(s) on link %d->%d", len(ch), u, e.nbrs[u][i])
+		for u := 0; u < s.n; u++ {
+			for sl := s.offs[u]; sl < s.offs[u+1]; sl++ {
+				if d := s.tails[sl] - s.heads[sl]; d != 0 {
+					err = fmt.Errorf("machine: %d unconsumed message(s) on link %d->%d", d, u, s.nbrs[sl])
 					break hygiene
 				}
 			}
@@ -197,57 +582,50 @@ func (e *Engine[T]) run(program func(c *Ctx[T]), onSend func(c *Ctx[T], dst int)
 	}
 
 	st := Stats{
-		Nodes:      e.n,
-		Cycles:     int(e.cycles.Load()),
-		CommCycles: int(e.commCyc.Load()),
-		Messages:   e.messages.Load(),
+		Nodes:      s.n,
+		Cycles:     s.cycles,
+		CommCycles: s.commCycles,
 	}
-	for _, k := range ops {
-		if k > st.MaxOps {
-			st.MaxOps = k
+	for u := range s.nodes {
+		c := &s.nodes[u]
+		st.Messages += c.msgs
+		if c.ops > st.MaxOps {
+			st.MaxOps = c.ops
 		}
-		st.TotalOps += int64(k)
+		st.TotalOps += int64(c.ops)
 	}
 	if err != nil {
-		// Drain any residue so the engine can be reused after a failure.
-		for u := range e.out {
-			for _, ch := range e.out[u] {
-				for len(ch) > 0 {
-					<-ch
-				}
-			}
-		}
+		s.drainLinks()
 	}
 	return st, err
 }
 
-// leaderAction runs once per completed barrier round, i.e. once per clock
-// cycle, while all nodes are blocked.
-func (e *Engine[T]) leaderAction() {
-	e.cycles.Add(1)
-	if e.anySent.Load() {
-		e.commCyc.Add(1)
-		e.anySent.Store(false)
-	}
-}
-
-// fail records the first error and aborts the barrier so all nodes unwind.
-func (e *Engine[T]) fail(err error) {
-	e.failMu.Lock()
-	if e.firstErr == nil {
-		e.firstErr = err
-	}
-	e.failMu.Unlock()
-	if e.bar != nil {
-		e.bar.Abort()
-	}
-}
-
-func indexOf(a []int, x int) int {
-	for i, v := range a {
-		if v == x {
-			return i
+// drainLinks discards any in-flight residue so the engine can be reused
+// after a failure, releasing references held by buffered elements.
+func (s *engineState[T]) drainLinks() {
+	var zero T
+	for sl := range s.tails {
+		for h := s.heads[sl]; h != s.tails[sl]; h++ {
+			s.buf[uint32(sl)*s.ringSize+h&s.ringMask] = zero
 		}
+		s.heads[sl] = s.tails[sl]
 	}
-	return -1
+}
+
+// fail records the first error, marks the run failed, and (in the
+// goroutine-per-node engine) aborts the barrier so all nodes unwind. The
+// worker pool needs no abort broadcast: its barrier always completes a
+// round, and the leader routes every worker into the drain path on the next
+// cycle once the failure flag is up.
+func (s *engineState[T]) fail(err error) {
+	s.failMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	bar := s.bar
+	s.failMu.Unlock()
+	s.failed.Store(true)
+	if bar != nil {
+		bar.Abort()
+	}
 }

@@ -1,0 +1,48 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// runGoroutines executes program under the original engine: one goroutine
+// per node, all N meeting in a single mutex-based barrier every cycle. Kept
+// behind Config.Sched for differential testing against the worker pool and
+// for programs that block on their own synchronization between nodes (which
+// the stepped scheduler's in-shard serialization would deadlock).
+func (e *engineState[T]) runGoroutines(program func(c *Ctx[T])) {
+	bar := NewBarrier(e.n, func() {
+		e.cycles++
+		if e.anySent.Load() {
+			e.commCycles++
+			e.anySent.Store(false)
+		}
+	})
+	e.failMu.Lock()
+	e.bar = bar
+	e.failMu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(e.n)
+	for u := 0; u < e.n; u++ {
+		c := &e.nodes[u]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if ap, ok := r.(abortPanic); ok {
+						e.fail(ap.err)
+					} else {
+						e.fail(fmt.Errorf("machine: node %d panicked: %v", c.id, r))
+					}
+				}
+			}()
+			program(c)
+		}()
+	}
+	wg.Wait()
+
+	e.failMu.Lock()
+	e.bar = nil
+	e.failMu.Unlock()
+}

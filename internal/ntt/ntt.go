@@ -199,13 +199,12 @@ func PolyMul(n int, a, b []uint64) ([]uint64, machine.Stats, error) {
 	if err != nil {
 		return nil, st3, err
 	}
-	total := machine.Stats{
-		Nodes:      st1.Nodes,
-		Cycles:     st1.Cycles + st2.Cycles + st3.Cycles,
-		CommCycles: st1.CommCycles + st2.CommCycles + st3.CommCycles,
-		Messages:   st1.Messages + st2.Messages + st3.Messages,
-		MaxOps:     st1.MaxOps + st2.MaxOps + st3.MaxOps + 1,
-		TotalOps:   st1.TotalOps + st2.TotalOps + st3.TotalOps + int64(st1.Nodes),
-	}
+	// The three transforms plus the one pointwise-multiplication round,
+	// which costs a single parallel step on every node.
+	total := st1.Add(st2).Add(st3).Add(machine.Stats{
+		Nodes:    st1.Nodes,
+		MaxOps:   1,
+		TotalOps: int64(st1.Nodes),
+	})
 	return res[:outLen], total, nil
 }

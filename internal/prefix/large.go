@@ -30,7 +30,11 @@ func DPrefixLarge[T any](n, k int, in []T, m monoid.Monoid[T], inclusive bool) (
 	mdim := d.ClusterDim()
 	out := make([]T, len(in))
 
-	eng := machine.New[T](d, machine.Config{})
+	eng, err := machine.New[T](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[T]) {
 		u := c.ID()
 		idx := d.DataIndex(u)

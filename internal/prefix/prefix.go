@@ -51,7 +51,11 @@ func CubePrefix[T any](q int, in []T, m monoid.Monoid[T], inclusive bool) ([]T, 
 		return nil, machine.Stats{}, fmt.Errorf("prefix: input length %d != %d nodes of %s", len(in), h.Nodes(), h.Name())
 	}
 	out := make([]T, len(in))
-	eng := machine.New[T](h, machine.Config{})
+	eng, err := machine.New[T](h, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[T]) {
 		u := c.ID()
 		t := in[u]
@@ -146,7 +150,11 @@ func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace
 	}
 
 	out := make([]T, len(in))
-	eng := machine.New[T](d, machine.Config{})
+	eng, err := machine.New[T](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(dprefixProgram(d, in, m, inclusive, out, snap))
 	if err != nil {
 		return nil, st, err
@@ -166,7 +174,11 @@ func DPrefixRecorded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool) (
 		return nil, machine.Stats{}, nil, fmt.Errorf("prefix: input length %d != %d nodes of %s", len(in), d.Nodes(), d.Name())
 	}
 	out := make([]T, len(in))
-	eng := machine.New[T](d, machine.Config{})
+	eng, err := machine.New[T](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, nil, err
+	}
+	defer eng.Release()
 	st, rec, err := eng.RunRecorded(dprefixProgram(d, in, m, inclusive, out, func(int, int, T, T) {}))
 	if err != nil {
 		return nil, st, nil, err

@@ -20,18 +20,6 @@ import (
 	"dualcube/internal/topology"
 )
 
-// addStats accumulates the costs of the phases of a composite algorithm.
-func addStats(a, b machine.Stats) machine.Stats {
-	return machine.Stats{
-		Nodes:      a.Nodes | b.Nodes,
-		Cycles:     a.Cycles + b.Cycles,
-		CommCycles: a.CommCycles + b.CommCycles,
-		Messages:   a.Messages + b.Messages,
-		MaxOps:     a.MaxOps + b.MaxOps,
-		TotalOps:   a.TotalOps + b.TotalOps,
-	}
-}
-
 // Sort sorts k·2^(2n-1) keys (k per node in element order) on D_n by
 // parallel sample sort:
 //
@@ -127,7 +115,7 @@ func Sort[K any](n, k int, keys []K, less func(a, b K) bool) ([]K, machine.Stats
 		sort.SliceStable(mine, func(a, b int) bool { return less(mine[a], mine[b]) })
 		out = append(out, mine...)
 	}
-	return out, addStats(stAG, stA2A), nil
+	return out, stAG.Add(stA2A), nil
 }
 
 // CommRounds returns the communication rounds of sample sort on D_n: one

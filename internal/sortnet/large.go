@@ -64,7 +64,11 @@ func DSortLarge[K any](n, k int, keys []K, less func(a, b K) bool, ord Order) ([
 		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys != k*N = %d", len(keys), k*d.Nodes())
 	}
 	out := make([]K, len(keys))
-	eng := machine.New[[]K](d, machine.Config{})
+	eng, err := machine.New[[]K](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[[]K]) {
 		r := d.ToRecursive(c.ID())
 		chunk := append([]K(nil), keys[r*k:(r+1)*k]...)
@@ -122,7 +126,11 @@ func CubeSortLarge[K any](q, k int, keys []K, less func(a, b K) bool, ord Order)
 		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys != k*N = %d", len(keys), k*h.Nodes())
 	}
 	out := make([]K, len(keys))
-	eng := machine.New[[]K](h, machine.Config{})
+	eng, err := machine.New[[]K](h, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[[]K]) {
 		u := c.ID()
 		chunk := append([]K(nil), keys[u*k:(u+1)*k]...)

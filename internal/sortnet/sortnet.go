@@ -79,7 +79,11 @@ func CubeSort[K any](q int, keys []K, less func(a, b K) bool, ord Order) ([]K, m
 		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys for %d nodes of %s", len(keys), h.Nodes(), h.Name())
 	}
 	out := make([]K, len(keys))
-	eng := machine.New[K](h, machine.Config{})
+	eng, err := machine.New[K](h, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(func(c *machine.Ctx[K]) {
 		u := c.ID()
 		key := keys[u]
@@ -183,7 +187,11 @@ func DSort[K any](n int, keys []K, less func(a, b K) bool, ord Order, tr *Trace[
 	}
 
 	out := make([]K, len(keys))
-	eng := machine.New[K](d, machine.Config{})
+	eng, err := machine.New[K](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	defer eng.Release()
 	st, err := eng.Run(dsortProgram(d, n, keys, less, ord, out, snaps))
 	if err != nil {
 		return nil, st, err
@@ -202,7 +210,11 @@ func DSortRecorded[K any](n int, keys []K, less func(a, b K) bool, ord Order) ([
 		return nil, machine.Stats{}, nil, fmt.Errorf("sortnet: %d keys for %d nodes of %s", len(keys), d.Nodes(), d.Name())
 	}
 	out := make([]K, len(keys))
-	eng := machine.New[K](d, machine.Config{})
+	eng, err := machine.New[K](d, machine.Config{})
+	if err != nil {
+		return nil, machine.Stats{}, nil, err
+	}
+	defer eng.Release()
 	st, rec, err := eng.RunRecorded(dsortProgram(d, n, keys, less, ord, out, nil))
 	if err != nil {
 		return nil, st, nil, err

@@ -1,0 +1,170 @@
+package dualcube
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// differentialWorkloads is every algorithm family exercised by the
+// scheduler equivalence test: prefix, sorting, and all collectives, each
+// returning its outputs and the run statistics for a given machine order.
+var differentialWorkloads = []struct {
+	name string
+	run  func(n int) (any, Stats, error)
+}{
+	{"Prefix", func(n int) (any, Stats, error) {
+		out, st, err := Prefix(n, diffInput(n))
+		return out, st, err
+	}},
+	{"PrefixDiminished", func(n int) (any, Stats, error) {
+		out, st, err := PrefixFunc(n, diffInput(n), func() int { return 0 }, func(a, b int) int { return a + b }, false)
+		return out, st, err
+	}},
+	{"PrefixSegmented", func(n int) (any, Stats, error) {
+		in := diffInput(n)
+		heads := make([]bool, len(in))
+		for i := range heads {
+			heads[i] = i%5 == 0
+		}
+		out, st, err := PrefixSegmented(n, in, heads, func() int { return 0 }, func(a, b int) int { return a + b })
+		return out, st, err
+	}},
+	{"Sort", func(n int) (any, Stats, error) {
+		out, st, err := Sort(n, diffInput(n), Ascending)
+		return out, st, err
+	}},
+	{"SortDescending", func(n int) (any, Stats, error) {
+		out, st, err := Sort(n, diffInput(n), Descending)
+		return out, st, err
+	}},
+	{"Broadcast", func(n int) (any, Stats, error) {
+		out, st, err := Broadcast(n, 3, 42)
+		return out, st, err
+	}},
+	{"AllReduce", func(n int) (any, Stats, error) {
+		out, st, err := AllReduceSum(n, diffInput(n))
+		return out, st, err
+	}},
+	{"Gather", func(n int) (any, Stats, error) {
+		out, st, err := Gather(n, 1, diffInput(n))
+		return out, st, err
+	}},
+	{"Scatter", func(n int) (any, Stats, error) {
+		out, st, err := Scatter(n, 1, diffInput(n))
+		return out, st, err
+	}},
+	{"AllGather", func(n int) (any, Stats, error) {
+		out, st, err := AllGather(n, diffInput(n))
+		return out, st, err
+	}},
+	{"AllToAll", func(n int) (any, Stats, error) {
+		N := 1 << (2*n - 1)
+		in := make([][]int, N)
+		for i := range in {
+			in[i] = make([]int, N)
+			for j := range in[i] {
+				in[i][j] = i*N + j
+			}
+		}
+		out, st, err := AllToAll(n, in)
+		return out, st, err
+	}},
+	{"AllToAllV", func(n int) (any, Stats, error) {
+		N := 1 << (2*n - 1)
+		rng := rand.New(rand.NewSource(int64(n)))
+		in := make([][][]int, N)
+		for i := range in {
+			in[i] = make([][]int, N)
+			for j := range in[i] {
+				in[i][j] = make([]int, rng.Intn(3))
+				for k := range in[i][j] {
+					in[i][j][k] = i*1000 + j*10 + k
+				}
+			}
+		}
+		out, st, err := AllToAllV(n, in)
+		return out, st, err
+	}},
+	{"ReduceScatter", func(n int) (any, Stats, error) {
+		N := 1 << (2*n - 1)
+		in := make([][]int, N)
+		for i := range in {
+			in[i] = make([]int, N)
+			for j := range in[i] {
+				in[i][j] = (i + 1) * (j + 1)
+			}
+		}
+		out, st, err := ReduceScatter(n, in, func() int { return 0 }, func(a, b int) int { return a + b })
+		return out, st, err
+	}},
+	{"Permute", func(n int) (any, Stats, error) {
+		N := 1 << (2*n - 1)
+		rng := rand.New(rand.NewSource(int64(n)))
+		out, st, err := Permute(n, rng.Perm(N), diffInput(n))
+		return out, st, err
+	}},
+}
+
+func diffInput(n int) []int {
+	N := 1 << (2*n - 1)
+	rng := rand.New(rand.NewSource(int64(n) * 7))
+	in := make([]int, N)
+	for i := range in {
+		in[i] = rng.Intn(1 << 16)
+	}
+	return in
+}
+
+// TestSchedulerDifferential runs every workload under both execution
+// engines and requires bit-identical outputs and identical cost statistics
+// (Cycles, CommCycles, Messages, MaxOps, TotalOps) — the engines must be
+// observationally equivalent, not merely both correct.
+func TestSchedulerDifferential(t *testing.T) {
+	defer SetSimScheduler(SchedulerWorkerPool)
+	for _, w := range differentialWorkloads {
+		for n := 2; n <= 4; n++ {
+			t.Run(fmt.Sprintf("%s/D_%d", w.name, n), func(t *testing.T) {
+				SetSimScheduler(SchedulerWorkerPool)
+				poolOut, poolStats, poolErr := w.run(n)
+				SetSimScheduler(SchedulerGoroutinePerNode)
+				goOut, goStats, goErr := w.run(n)
+				if poolErr != nil || goErr != nil {
+					t.Fatalf("pool err = %v, goroutine err = %v", poolErr, goErr)
+				}
+				if poolStats != goStats {
+					t.Errorf("stats diverge:\n  worker-pool:        %+v\n  goroutine-per-node: %+v", poolStats, goStats)
+				}
+				if !reflect.DeepEqual(poolOut, goOut) {
+					t.Errorf("outputs diverge between schedulers")
+				}
+			})
+		}
+	}
+}
+
+// TestSchedulerDifferentialWorkerCounts pins the worker count to several
+// values and requires the same equivalence — shard boundaries must not be
+// observable.
+func TestSchedulerDifferentialWorkerCounts(t *testing.T) {
+	defer SetSimWorkers(0)
+	const n = 3
+	ref, refStats, err := Prefix(n, diffInput(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 7, 64} {
+		SetSimWorkers(k)
+		out, st, err := Prefix(n, diffInput(n))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", k, err)
+		}
+		if st != refStats {
+			t.Errorf("workers=%d: stats diverge: %+v vs %+v", k, st, refStats)
+		}
+		if !reflect.DeepEqual(out, ref) {
+			t.Errorf("workers=%d: outputs diverge", k)
+		}
+	}
+}
