@@ -1,0 +1,43 @@
+package dualcube
+
+import (
+	"testing"
+
+	"dualcube/internal/monoid"
+	"dualcube/internal/prefix"
+)
+
+// TestNoPlanPrefixAllocGuard pins the allocation cost of a full D_prefix run
+// on D_6 with no fault plan armed. The fault-injection hooks on the send
+// path must stay free when disarmed: the steady-state budget has been 17
+// allocs/op since the worker-pool engine landed, and the guard allows only
+// small headroom over that so an accidental per-message or per-cycle
+// allocation (2048 nodes x 12 cycles would add thousands) fails loudly.
+func TestNoPlanPrefixAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	const n = 6
+	const budget = 24 // PR-1 level is 17; leave room for runtime noise only
+	in := make([]int, 1<<(2*n-1))
+	for i := range in {
+		in[i] = i*2654435761 + 1
+	}
+	// One worker keeps the schedule deterministic and avoids counting
+	// goroutine stack growth of a cold pool against the run.
+	SetSimWorkers(1)
+	defer SetSimWorkers(0)
+	m := monoid.Sum[int]()
+	// Warm up once so lazily-initialized state is excluded.
+	if _, _, err := prefix.DPrefix(n, in, m, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := prefix.DPrefix(n, in, m, true, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("D_prefix on D_%d with no fault plan: %.0f allocs/op, budget %d (PR-1 level 17)", n, allocs, budget)
+	}
+}

@@ -5,8 +5,11 @@
 //
 // Usage:
 //
-//	dcbench              # run every experiment
-//	dcbench -exp E8      # one experiment: E2 E4 E5 E8 E9 E10 E11 E12 E13
+//	dcbench                  # run every experiment
+//	dcbench -exp E8          # one experiment: E2 E4 E5 E8 E9 E10 E11 E12 E13 E14 E16 E17 E18 E19
+//	dcbench -faults          # fault sweep: degraded D_prefix on D_4..D_6, f = 0..n-1
+//	dcbench -faults -json    # same sweep as JSON lines (one point per line)
+//	dcbench -faults -seed 7  # sweep under a different plan seed
 package main
 
 import (
@@ -18,39 +21,55 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E2, E4, E5, E8, E9, E10, E11, E12, E13, E14, E16, E17) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E2, E4, E5, E8, E9, E10, E11, E12, E13, E14, E16, E17, E18, E19) or 'all'")
+	faults := flag.Bool("faults", false, "run the seeded fault sweep (degraded D_prefix, f = 0..n-1 on D_4..D_6)")
+	jsonOut := flag.Bool("json", false, "with -faults: emit JSON lines instead of the markdown table")
+	seed := flag.Int64("seed", 2008, "base seed for the fault-sweep plans")
 	flag.Parse()
 
 	var out string
 	var err error
-	switch *exp {
-	case "all":
-		out, err = experiments.All()
-	case "E2":
-		out = experiments.E2Topology(8, 4)
-	case "E4":
-		out, err = experiments.E4Prefix(7)
-	case "E5":
-		out, err = experiments.E5CubePrefix(13)
-	case "E8":
-		out, err = experiments.E8Sort(6)
-	case "E9", "E10":
-		out, err = experiments.E9E10CubeSortAndOverhead(6)
-	case "E11":
-		out = experiments.E11Compare()
-	case "E12":
-		out, err = experiments.E12Large(3, []int{1, 4, 16, 64})
-	case "E13":
-		out, err = experiments.E13Collectives(7)
-	case "E14":
-		out, err = experiments.E14LinkLoads(5)
-	case "E16":
-		out, err = experiments.E16Emulation(5)
-	case "E17":
-		out, err = experiments.E17SampleSort(5, 16)
+	switch {
+	case *faults:
+		if *jsonOut {
+			out, err = experiments.E18FaultSweepJSON(4, 6, *seed)
+		} else {
+			out, err = experiments.E18FaultSweep(4, 6, *seed)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		switch *exp {
+		case "all":
+			out, err = experiments.All()
+		case "E2":
+			out, err = experiments.E2Topology(8, 4)
+		case "E4":
+			out, err = experiments.E4Prefix(7)
+		case "E5":
+			out, err = experiments.E5CubePrefix(13)
+		case "E8":
+			out, err = experiments.E8Sort(6)
+		case "E9", "E10":
+			out, err = experiments.E9E10CubeSortAndOverhead(6)
+		case "E11":
+			out, err = experiments.E11Compare()
+		case "E12":
+			out, err = experiments.E12Large(3, []int{1, 4, 16, 64})
+		case "E13":
+			out, err = experiments.E13Collectives(7)
+		case "E14":
+			out, err = experiments.E14LinkLoads(5)
+		case "E16":
+			out, err = experiments.E16Emulation(5)
+		case "E17":
+			out, err = experiments.E17SampleSort(5, 16)
+		case "E18":
+			out, err = experiments.E18FaultSweep(4, 6, *seed)
+		case "E19":
+			out, err = experiments.E19FaultTolerance(6, 20, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
 	}
 	fmt.Print(out)
 	if err != nil {

@@ -10,6 +10,7 @@
 //	dcinfo -compare          # E11 comparison table
 //	dcinfo -recursive -n 3   # recursive-presentation mapping of D_3
 //	dcinfo -hamiltonian -n 3 # verified Hamiltonian cycle of D_3
+//	dcinfo -faulttol         # E19 connectivity / fault-tolerance figures
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	compare := flag.Bool("compare", false, "print the E11 network-comparison table")
 	recursive := flag.Bool("recursive", false, "print the recursive-presentation mapping (use with -n)")
 	hamiltonian := flag.Bool("hamiltonian", false, "print a verified Hamiltonian cycle of D_n (use with -n)")
+	faulttol := flag.Bool("faulttol", false, "print the E19 connectivity and fault-tolerance table")
 	n := flag.Int("n", 3, "dual-cube order for -recursive / -hamiltonian")
 	flag.Parse()
 
@@ -45,11 +47,16 @@ func main() {
 	}
 	if *claims {
 		ran = true
-		fmt.Print(experiments.E2Topology(8, 4))
+		printTable(experiments.E2Topology(8, 4))
 	}
 	if *compare {
 		ran = true
-		fmt.Print(experiments.E11Compare())
+		printTable(experiments.E11Compare())
+	}
+	if *faulttol {
+		ran = true
+		fmt.Print("D_n has degree n and link connectivity n: any n-1 link faults leave it connected,\nand cutting all n links of a single node shows the bound is tight.\n\n")
+		printTable(experiments.E19FaultTolerance(6, 20, 2008))
 	}
 	if *recursive {
 		ran = true
@@ -94,6 +101,14 @@ func printRecursive(n int) error {
 		return err
 	}
 	return trace.RenderRecursive(os.Stdout, d)
+}
+
+// printTable prints an experiment table, exiting on generation errors.
+func printTable(s string, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(s)
 }
 
 func fatal(err error) {

@@ -1,9 +1,12 @@
 package dualcube
 
 import (
+	"fmt"
 	"time"
 
+	"dualcube/internal/fault"
 	"dualcube/internal/machine"
+	"dualcube/internal/topology"
 )
 
 // Scheduler selects the simulator execution engine used by all algorithm
@@ -39,3 +42,38 @@ func SetSimTimeout(d time.Duration) { machine.SetDefaultTimeout(d) }
 // k <= 0 restores the default (GOMAXPROCS). The pool clamps the count to
 // the machine's node count.
 func SetSimWorkers(k int) { machine.SetDefaultWorkers(k) }
+
+// FaultPlan is a seeded, reproducible fault scenario for the simulator:
+// permanent link and node failures plus transient per-message drop/delay
+// noise. The same plan (or two plans with equal fields) always produces the
+// same faults and the same Stats.Faults, under either scheduler.
+type FaultPlan = fault.Plan
+
+// FaultLink names one undirected dual-cube link inside a FaultPlan.
+type FaultLink = fault.Link
+
+// FaultStats is the per-run fault breakdown reported in Stats.Faults.
+type FaultStats = machine.FaultStats
+
+// SetSimFaultPlan arms plan for every subsequent simulated run of this
+// package's algorithms; nil disarms (the default — with no plan armed the
+// simulator's send path is unchanged from the fault-free engine). Algorithms
+// that are not fault-tolerant abort with a protocol error when their schedule
+// touches failed hardware; PrefixDegraded arms its own plan explicitly and
+// survives it. Process-wide, like SetSimScheduler.
+func SetSimFaultPlan(plan *FaultPlan) { machine.SetDefaultFaults(plan.Spec()) }
+
+// RandomFaultPlan builds a seeded plan of f random permanent link faults on
+// D_n. Keep f <= n-1 (the link connectivity of D_n) for the guarantee that
+// every fault-tolerant schedule survives; larger f is allowed but may
+// disconnect the network.
+func RandomFaultPlan(n, f int, seed int64) (*FaultPlan, error) {
+	d, err := topology.NewDualCube(n)
+	if err != nil {
+		return nil, err
+	}
+	if f < 0 || f > d.Nodes()*d.Order()/2 {
+		return nil, fmt.Errorf("dualcube: fault count %d outside 0..%d", f, d.Nodes()*d.Order()/2)
+	}
+	return fault.Random(d, f, seed), nil
+}

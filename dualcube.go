@@ -140,6 +140,23 @@ func PrefixFunc[T any](n int, in []T, identity func() T, combine func(a, b T) T,
 	return prefix.DPrefix(n, in, mono(identity, combine), inclusive, nil)
 }
 
+// PrefixDegraded computes all prefix sums of in on a D_n degraded by plan's
+// permanent link faults: the schedule reroutes every severed exchange over
+// alive detour paths, correct for any f <= n-1 link faults (the link
+// connectivity of D_n). A nil plan is byte-identical to Prefix; each broken
+// pair stretches the 2n-step schedule by its repair relay cycles, reported in
+// Stats (see EXPERIMENTS.md for the measured sweep against Theorem 1's 2n+1
+// bound). Plans with node faults or transient noise are rejected.
+func PrefixDegraded[T monoid.Number](n int, in []T, plan *FaultPlan) ([]T, Stats, error) {
+	return prefix.DPrefixDegraded(n, in, monoid.Sum[T](), true, plan)
+}
+
+// PrefixDegradedFunc is PrefixDegraded for an arbitrary monoid, with the
+// inclusive/diminished choice of PrefixFunc.
+func PrefixDegradedFunc[T any](n int, in []T, identity func() T, combine func(a, b T) T, inclusive bool, plan *FaultPlan) ([]T, Stats, error) {
+	return prefix.DPrefixDegraded(n, in, mono(identity, combine), inclusive, plan)
+}
+
 // PrefixLarge computes prefix sums of an input with k = len(in)/2^(2n-1)
 // elements per node (len(in) must be a multiple of the node count). The
 // communication cost stays 2n steps regardless of k.

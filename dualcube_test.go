@@ -4,10 +4,13 @@ import (
 	"math/rand"
 	"testing"
 
+	"dualcube/internal/monoid"
 	"dualcube/internal/seq"
 )
 
 func intLess(a, b int) bool { return a < b }
+
+func seqSum() monoid.Monoid[int] { return monoid.Sum[int]() }
 
 func TestNewNetwork(t *testing.T) {
 	nw, err := New(3)
@@ -458,5 +461,64 @@ func TestNTTFacade(t *testing.T) {
 		if prod[i] != want[i] {
 			t.Fatalf("PolyMulMod = %v", prod)
 		}
+	}
+}
+
+func TestPrefixDegradedFacade(t *testing.T) {
+	const n = 4
+	N := 1 << (2*n - 1)
+	rng := rand.New(rand.NewSource(21))
+	in := make([]int, N)
+	for i := range in {
+		in[i] = rng.Intn(100)
+	}
+	want := seq.ScanInclusive(in, seqSum())
+	for f := 0; f < n; f++ {
+		plan, err := RandomFaultPlan(n, f, int64(40+f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, st, err := PrefixDegraded(n, in, plan)
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("f=%d: out[%d]=%d, want %d", f, i, out[i], want[i])
+			}
+		}
+		if st.Faults.DownLinks != 2*f {
+			t.Errorf("f=%d: DownLinks=%d, want %d", f, st.Faults.DownLinks, 2*f)
+		}
+	}
+	// Diminished prefix through the Func variant, under the max fault load.
+	plan, _ := RandomFaultPlan(n, n-1, 8)
+	out, _, err := PrefixDegradedFunc(n, in, func() int { return 0 }, func(a, b int) int { return a + b }, false, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := seq.ScanExclusive(in, seqSum())
+	for i := range ex {
+		if out[i] != ex[i] {
+			t.Fatalf("diminished f=%d: out[%d]=%d, want %d", n-1, i, out[i], ex[i])
+		}
+	}
+}
+
+// TestSetSimFaultPlanArms checks the process-wide hook: with a plan armed, a
+// non-fault-tolerant algorithm touching a failed link aborts with a protocol
+// error, and disarming restores normal operation.
+func TestSetSimFaultPlanArms(t *testing.T) {
+	const n = 2
+	plan := &FaultPlan{Links: []FaultLink{{U: 0, V: 1}}}
+	SetSimFaultPlan(plan)
+	defer SetSimFaultPlan(nil)
+	in := make([]int, 1<<(2*n-1))
+	if _, _, err := Prefix(n, in); err == nil {
+		t.Fatal("Prefix over a failed link succeeded with a plan armed")
+	}
+	SetSimFaultPlan(nil)
+	if _, _, err := Prefix(n, in); err != nil {
+		t.Fatalf("disarmed Prefix failed: %v", err)
 	}
 }

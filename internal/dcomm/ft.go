@@ -1,0 +1,305 @@
+package dcomm
+
+import (
+	"fmt"
+	"sort"
+
+	"dualcube/internal/fault"
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// Fault-tolerant variants of the elementary exchanges. The fault model is the
+// post-diagnosis one of the connectivity literature (Zhao/Hao/Cheng,
+// PAPERS.md): every node knows the full set of permanent faults, so all nodes
+// derive the identical detour schedule offline and no runtime agreement is
+// needed. Because the link connectivity of D_n is n, any f <= n-1 link faults
+// leave the network connected and every broken pair has an alive repair path.
+//
+// The schedule is: run the plain exchange for every pair whose links survive
+// (broken pairs idle in those cycles), then repair the broken pairs one at a
+// time in canonical order — each repair relays the two values along the
+// pair's alive path, forward then backward, one hop per cycle, with every
+// node not on the path idling. With a clean view the planners return nil and
+// the *FT functions delegate to the plain exchanges, byte-identical.
+
+// Detour is one broken pair's repair assignment: the pair and the alive relay
+// path joining its endpoints (Path[0] = Pair.U, Path[len-1] = Pair.V).
+type Detour struct {
+	Pair fault.Link
+	Path []int
+	back []int // Path reversed, precomputed so node programs stay alloc-free
+}
+
+// FTPlan is the global detour schedule for one exchange pattern (a cluster
+// dimension, the cross matching, or a recursive dimension) under one fault
+// view. It is computed once by a Plan* function and shared read-only by every
+// node program, so the per-cycle work inside the machine stays O(1) per node.
+type FTPlan struct {
+	broken   []bool // per node: this node's pair is broken and repaired later
+	relayOff []bool // per node (dim exchange, j > 0): direct pair alive but its
+	// mismatched cross pair is broken, so skip relay duty
+	detours      []Detour
+	repairCycles int
+}
+
+// Detours returns the repair assignments in schedule order.
+func (p *FTPlan) Detours() []Detour {
+	if p == nil {
+		return nil
+	}
+	return p.detours
+}
+
+// RepairCycles returns the extra clock cycles the repairs append to the plain
+// schedule: sum over detours of 2·(path length − 1). Zero for a nil plan.
+func (p *FTPlan) RepairCycles() int {
+	if p == nil {
+		return 0
+	}
+	return p.repairCycles
+}
+
+func newFTPlan(n int) *FTPlan {
+	return &FTPlan{broken: make([]bool, n), relayOff: make([]bool, n)}
+}
+
+// addPair marks {u, w} broken and assigns its repair path.
+func (p *FTPlan) addPair(view *fault.View, u, w int) error {
+	pair := fault.Link{U: u, V: w}.Normalize()
+	path := view.Path(pair.U, pair.V)
+	if path == nil {
+		return fmt.Errorf("dcomm: faults disconnect %d and %d, no repair path exists", pair.U, pair.V)
+	}
+	p.broken[u], p.broken[w] = true, true
+	back := make([]int, len(path))
+	for i, x := range path {
+		back[len(path)-1-i] = x
+	}
+	p.detours = append(p.detours, Detour{Pair: pair, Path: path, back: back})
+	return nil
+}
+
+// finish fixes the canonical repair order and the cycle count.
+func (p *FTPlan) finish() {
+	sort.Slice(p.detours, func(i, j int) bool {
+		a, b := p.detours[i].Pair, p.detours[j].Pair
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	for _, dt := range p.detours {
+		p.repairCycles += 2 * (len(dt.Path) - 1)
+	}
+}
+
+// PlanClusterExchangeFT computes the detour schedule for the dimension-i
+// intra-cluster exchange under view. A clean view yields a nil plan (use the
+// plain exchange); an error means the faults disconnect a pair, which cannot
+// happen with f <= n-1 link faults.
+func PlanClusterExchangeFT(d *topology.DualCube, view *fault.View, i int) (*FTPlan, error) {
+	if view.Clean() {
+		return nil, nil
+	}
+	p := newFTPlan(d.Nodes())
+	for u := 0; u < d.Nodes(); u++ {
+		w := d.ClusterNeighbor(u, i)
+		if u < w && view.LinkDown(u, w) {
+			if err := p.addPair(view, u, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p.finish()
+	return p, nil
+}
+
+// PlanCrossExchangeFT computes the detour schedule for the cross-edge
+// matching under view.
+func PlanCrossExchangeFT(d *topology.DualCube, view *fault.View) (*FTPlan, error) {
+	if view.Clean() {
+		return nil, nil
+	}
+	p := newFTPlan(d.Nodes())
+	for u := 0; u < d.Nodes(); u++ {
+		w := d.CrossNeighbor(u)
+		if u < w && view.LinkDown(u, w) {
+			if err := p.addPair(view, u, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p.finish()
+	return p, nil
+}
+
+// PlanDimExchangeFT computes the detour schedule for the parallel
+// recursive-dimension-j exchange under view. For j > 0 the plain 3-cycle
+// schedule (see DimExchange) makes a mismatched pair {v, v_j} depend on three
+// links — its two cross-edges and its relay pair's j-link — so:
+//
+//   - a down j-link {w, w_j} breaks both the direct pair {w, w_j} and the
+//     mismatched pair {cross(w), cross(w_j)} it relays for;
+//   - a down cross-edge breaks only the mismatched pair of its endpoints;
+//   - a direct pair that survives but whose mismatched pair is broken
+//     exchanges normally and skips relay duty (the mismatched nodes are
+//     idling, so no foreign value arrives on the cross-edge).
+func PlanDimExchangeFT(d *topology.DualCube, view *fault.View, j int) (*FTPlan, error) {
+	if view.Clean() {
+		return nil, nil
+	}
+	if j == 0 {
+		return PlanCrossExchangeFT(d, view)
+	}
+	p := newFTPlan(d.Nodes())
+	for u := 0; u < d.Nodes(); u++ {
+		r := d.ToRecursive(u)
+		if !d.RecDirect(r, j) {
+			continue
+		}
+		w := d.FromRecursive(r ^ 1<<j)
+		if u > w {
+			continue // both ends of a direct pair are direct; visit once
+		}
+		cu, cw := d.CrossNeighbor(u), d.CrossNeighbor(w)
+		directDown := view.LinkDown(u, w)
+		if directDown {
+			if err := p.addPair(view, u, w); err != nil {
+				return nil, err
+			}
+		}
+		if directDown || view.LinkDown(cu, u) || view.LinkDown(cw, w) {
+			if err := p.addPair(view, cu, cw); err != nil {
+				return nil, err
+			}
+			if !directDown {
+				p.relayOff[u], p.relayOff[w] = true, true
+			}
+		}
+	}
+	p.finish()
+	return p, nil
+}
+
+// ClusterExchangeFT is ClusterExchange surviving the faults planned in p
+// (from PlanClusterExchangeFT with the same d and i). A nil plan is the
+// fault-free fast path, byte-identical to ClusterExchange.
+func ClusterExchangeFT[T any](c *machine.Ctx[T], d *topology.DualCube, i int, v T, p *FTPlan) T {
+	if p == nil {
+		return ClusterExchange(c, d, i, v)
+	}
+	return runMatching(c, p, d.ClusterNeighbor(c.ID(), i), v)
+}
+
+// CrossExchangeFT is CrossExchange surviving the faults planned in p.
+func CrossExchangeFT[T any](c *machine.Ctx[T], d *topology.DualCube, v T, p *FTPlan) T {
+	if p == nil {
+		return CrossExchange(c, d, v)
+	}
+	return runMatching(c, p, d.CrossNeighbor(c.ID()), v)
+}
+
+// DimExchangeFT is DimExchange surviving the faults planned in p (from
+// PlanDimExchangeFT with the same d and j).
+func DimExchangeFT[T any](c *machine.Ctx[T], d *topology.DualCube, j int, v T, p *FTPlan) T {
+	if p == nil {
+		return DimExchange(c, d, j, v)
+	}
+	u := c.ID()
+	cross := d.CrossNeighbor(u)
+	if j == 0 {
+		return runMatching(c, p, cross, v)
+	}
+	var own T
+	r := d.ToRecursive(u)
+	switch {
+	case p.broken[u]:
+		c.Idle() // cycles 1-3: this pair is repaired after the main schedule
+		c.Idle()
+		c.Idle()
+	case d.RecDirect(r, j):
+		jp := d.FromRecursive(r ^ 1<<j)
+		if p.relayOff[u] {
+			own = c.Exchange(jp, v) // cycle 1; no foreign value is coming
+			c.Idle()                // cycle 2
+			c.Idle()                // cycle 3
+		} else {
+			var foreign T
+			own, foreign = c.SendRecv2(jp, v, jp, cross) // cycle 1
+			relayed := c.SendRecv(jp, foreign, jp)       // cycle 2
+			c.Send(cross, relayed)                       // cycle 3
+		}
+	default:
+		c.Send(cross, v) // cycle 1
+		c.Idle()         // cycle 2
+		own = c.Recv(cross)
+	}
+	if got, ok := runRepairs(c, p, v); ok {
+		own = got
+	}
+	return own
+}
+
+// runMatching executes one cycle of direct exchange for the surviving pairs
+// of a perfect matching (broken pairs idle), then the serial repairs.
+func runMatching[T any](c *machine.Ctx[T], p *FTPlan, partner int, v T) T {
+	var r T
+	if p.broken[c.ID()] {
+		c.Idle()
+	} else {
+		r = c.Exchange(partner, v)
+	}
+	if got, ok := runRepairs(c, p, v); ok {
+		r = got
+	}
+	return r
+}
+
+// runRepairs walks the detour schedule: for each broken pair, relay the U
+// endpoint's value to V and then V's value back to U along the alive path.
+// Every node executes the same cycle count; ok reports whether this node is
+// an endpoint of some pair (at most one — matchings are disjoint) and
+// received its partner's value.
+func runRepairs[T any](c *machine.Ctx[T], p *FTPlan, v T) (T, bool) {
+	var out T
+	var have bool
+	for i := range p.detours {
+		dt := &p.detours[i]
+		if got, ok := relayOneWay(c, dt.Path, v); ok {
+			out, have = got, true
+		}
+		if got, ok := relayOneWay(c, dt.back, v); ok {
+			out, have = got, true
+		}
+	}
+	return out, have
+}
+
+// relayOneWay moves the source's value along path, one hop per cycle
+// (len(path)-1 cycles). Nodes off the path idle every cycle; relay nodes
+// receive on one cycle and forward on the next; ok reports whether this node
+// is the destination.
+func relayOneWay[T any](c *machine.Ctx[T], path []int, v T) (T, bool) {
+	u := c.ID()
+	pos := -1
+	for i, x := range path {
+		if x == u {
+			pos = i
+			break
+		}
+	}
+	last := len(path) - 1
+	cur := v // the source's payload; relays overwrite it on receive
+	for hop := 0; hop < last; hop++ {
+		switch pos {
+		case hop:
+			c.Send(path[hop+1], cur)
+		case hop + 1:
+			cur = c.Recv(path[hop])
+		default:
+			c.Idle()
+		}
+	}
+	return cur, pos == last
+}

@@ -1,0 +1,237 @@
+package dcomm
+
+import (
+	"testing"
+
+	"dualcube/internal/fault"
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// runFT executes program on d with plan's faults armed in the engine, so any
+// send the FT routing attempts on a down link aborts the run — passing these
+// tests proves the detours genuinely avoid the failed hardware.
+func runFT[T any](t *testing.T, d *topology.DualCube, plan *fault.Plan, sched machine.Sched, program func(*machine.Ctx[T])) machine.Stats {
+	t.Helper()
+	eng := machine.MustNew[T](d, machine.Config{Sched: sched, Faults: plan.Spec()})
+	defer eng.Release()
+	st, err := eng.Run(program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDimExchangeFTSingleCrossFault is the single-failed-cross-edge coverage
+// for the 3-cycle relay schedule: for every relay dimension, every node must
+// still receive its dimension partner's value, under both schedulers, with
+// bit-identical results and Stats across them (differential).
+func TestDimExchangeFTSingleCrossFault(t *testing.T) {
+	d := topology.MustDualCube(3)
+	plan := &fault.Plan{Links: []fault.Link{{U: 0, V: d.CrossNeighbor(0)}}}
+	view := fault.NewView(d, plan)
+	for j := 1; j < d.RecDims(); j++ {
+		p, err := PlanDimExchangeFT(d, view, j)
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		if len(p.Detours()) != 1 {
+			t.Fatalf("j=%d: %d detours for one cross fault, want 1 (the mismatched pair)", j, len(p.Detours()))
+		}
+		var ref []int
+		var refStats machine.Stats
+		for _, sched := range []machine.Sched{machine.SchedWorkerPool, machine.SchedGoroutinePerNode} {
+			got := make([]int, d.Nodes())
+			st := runFT[int](t, d, plan, sched, func(c *machine.Ctx[int]) {
+				r := d.ToRecursive(c.ID())
+				got[r] = DimExchangeFT(c, d, j, r*10+1, p)
+			})
+			for r := 0; r < d.Nodes(); r++ {
+				if want := (r^1<<j)*10 + 1; got[r] != want {
+					t.Fatalf("j=%d sched=%v: rec node %d got %d, want %d", j, sched, r, got[r], want)
+				}
+			}
+			if want := CyclesForDim(j) + p.RepairCycles(); st.Cycles != want {
+				t.Errorf("j=%d sched=%v: cycles %d, want %d", j, sched, st.Cycles, want)
+			}
+			if ref == nil {
+				ref, refStats = got, st
+			} else {
+				for r := range got {
+					if got[r] != ref[r] {
+						t.Fatalf("j=%d: schedulers disagree at rec node %d: %d vs %d", j, r, got[r], ref[r])
+					}
+				}
+				if st != refStats {
+					t.Errorf("j=%d: scheduler Stats diverge:\n  %+v\n  %+v", j, refStats, st)
+				}
+			}
+		}
+	}
+}
+
+// TestDimExchangeFTSingleDimLinkFault fails one j-link, which breaks both the
+// direct pair and the mismatched pair relaying through it — two detours.
+func TestDimExchangeFTSingleDimLinkFault(t *testing.T) {
+	d := topology.MustDualCube(3)
+	const j = 2 // even: class-0 nodes are direct
+	w := 0
+	wj := d.FromRecursive(d.ToRecursive(w) ^ 1<<j)
+	plan := &fault.Plan{Links: []fault.Link{{U: w, V: wj}}}
+	view := fault.NewView(d, plan)
+	p, err := PlanDimExchangeFT(d, view, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Detours()) != 2 {
+		t.Fatalf("%d detours for a failed j-link, want 2 (direct + mismatched pair)", len(p.Detours()))
+	}
+	got := make([]int, d.Nodes())
+	runFT[int](t, d, plan, machine.SchedWorkerPool, func(c *machine.Ctx[int]) {
+		r := d.ToRecursive(c.ID())
+		got[r] = DimExchangeFT(c, d, j, r*10+1, p)
+	})
+	for r := 0; r < d.Nodes(); r++ {
+		if want := (r^1<<j)*10 + 1; got[r] != want {
+			t.Fatalf("rec node %d got %d, want %d", r, got[r], want)
+		}
+	}
+}
+
+// TestClusterAndCrossExchangeFT fails one cluster link and one cross link and
+// checks both FT matchings deliver every partner value, with the repair cost
+// visible in the cycle count.
+func TestClusterAndCrossExchangeFT(t *testing.T) {
+	d := topology.MustDualCube(3)
+	plan := &fault.Plan{Links: []fault.Link{
+		{U: 0, V: d.ClusterNeighbor(0, 1)},
+		{U: 5, V: d.CrossNeighbor(5)},
+	}}
+	view := fault.NewView(d, plan)
+	cross, err := PlanCrossExchangeFT(d, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus := make([]*FTPlan, d.ClusterDim())
+	for i := range clus {
+		if clus[i], err = PlanClusterExchangeFT(d, view, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(clus[0].Detours()) != 0 || len(clus[1].Detours()) != 1 || len(cross.Detours()) != 1 {
+		t.Fatalf("detour counts: dim0=%d dim1=%d cross=%d, want 0/1/1",
+			len(clus[0].Detours()), len(clus[1].Detours()), len(cross.Detours()))
+	}
+	got := make([][]int, d.Nodes())
+	st := runFT[int](t, d, plan, machine.SchedWorkerPool, func(c *machine.Ctx[int]) {
+		u := c.ID()
+		res := make([]int, 0, d.ClusterDim()+1)
+		for i := 0; i < d.ClusterDim(); i++ {
+			res = append(res, ClusterExchangeFT(c, d, i, u, clus[i]))
+		}
+		res = append(res, CrossExchangeFT(c, d, u, cross))
+		got[u] = res
+	})
+	for u := 0; u < d.Nodes(); u++ {
+		for i := 0; i < d.ClusterDim(); i++ {
+			if got[u][i] != d.ClusterNeighbor(u, i) {
+				t.Fatalf("node %d dim %d: got %d, want %d", u, i, got[u][i], d.ClusterNeighbor(u, i))
+			}
+		}
+		if got[u][d.ClusterDim()] != d.CrossNeighbor(u) {
+			t.Fatalf("node %d cross: got %d, want %d", u, got[u][d.ClusterDim()], d.CrossNeighbor(u))
+		}
+	}
+	wantCycles := d.ClusterDim() + 1
+	for _, p := range clus {
+		wantCycles += p.RepairCycles()
+	}
+	wantCycles += cross.RepairCycles()
+	if st.Cycles != wantCycles {
+		t.Errorf("cycles = %d, want %d", st.Cycles, wantCycles)
+	}
+}
+
+// TestExchangeFTRandomFaults sweeps seeded random plans up to the f = n-1
+// connectivity bound and checks every FT exchange pattern stays correct with
+// the faults armed in the engine.
+func TestExchangeFTRandomFaults(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		d := topology.MustDualCube(n)
+		for f := 1; f < d.Order(); f++ {
+			plan := fault.Random(d, f, int64(100*n+f))
+			view := fault.NewView(d, plan)
+			dims := make([]*FTPlan, d.RecDims())
+			var err error
+			for j := range dims {
+				if dims[j], err = PlanDimExchangeFT(d, view, j); err != nil {
+					t.Fatalf("n=%d f=%d j=%d: %v", n, f, j, err)
+				}
+			}
+			got := make([][]int, d.Nodes())
+			runFT[int](t, d, plan, machine.SchedWorkerPool, func(c *machine.Ctx[int]) {
+				r := d.ToRecursive(c.ID())
+				res := make([]int, d.RecDims())
+				for j := 0; j < d.RecDims(); j++ {
+					res[j] = DimExchangeFT(c, d, j, r*100+j, dims[j])
+				}
+				got[r] = res
+			})
+			for r := 0; r < d.Nodes(); r++ {
+				for j := 0; j < d.RecDims(); j++ {
+					if want := (r^1<<j)*100 + j; got[r][j] != want {
+						t.Fatalf("n=%d f=%d: rec node %d dim %d got %d, want %d", n, f, r, j, got[r][j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFTCleanViewIsPlain checks the fast path: a clean view plans to nil and
+// the FT wrappers then produce the exact schedule of the plain exchanges —
+// identical results and identical Stats.
+func TestFTCleanViewIsPlain(t *testing.T) {
+	d := topology.MustDualCube(3)
+	view := fault.NewView(d, nil)
+	for j := 0; j < d.RecDims(); j++ {
+		p, err := PlanDimExchangeFT(d, view, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			t.Fatalf("j=%d: clean view produced a non-nil plan", j)
+		}
+	}
+	program := func(ft bool) (stats machine.Stats, out []int) {
+		eng := machine.MustNew[int](d, machine.Config{})
+		defer eng.Release()
+		out = make([]int, d.Nodes())
+		stats, err := eng.Run(func(c *machine.Ctx[int]) {
+			r := d.ToRecursive(c.ID())
+			acc := 0
+			for j := 0; j < d.RecDims(); j++ {
+				if ft {
+					acc += DimExchangeFT(c, d, j, r, nil)
+				} else {
+					acc += DimExchange(c, d, j, r)
+				}
+			}
+			out[r] = acc
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, out
+	}
+	plainStats, plain := program(false)
+	ftStats, ftOut := program(true)
+	if plainStats != ftStats {
+		t.Errorf("fault-free FT stats diverge from plain:\n  plain: %+v\n  ft:    %+v", plainStats, ftStats)
+	}
+	for r := range plain {
+		if plain[r] != ftOut[r] {
+			t.Fatalf("rec node %d: plain %d, ft %d", r, plain[r], ftOut[r])
+		}
+	}
+}

@@ -56,11 +56,14 @@ func randInts(seed int64, n, lo, hi int) []int {
 // E2Topology verifies the Section 2 structural claims of D_n for n in
 // [1, maxN]: node count, degree, edge count, diameter 2n (BFS-checked up to
 // bfsMax), and the closed-form distance formula (spot-checked by BFS).
-func E2Topology(maxN, bfsMax int) string {
+func E2Topology(maxN, bfsMax int) (string, error) {
 	t := newTable("E2 — dual-cube structural claims (Section 2)",
 		"n", "nodes 2^(2n-1)", "degree", "edges", "diameter formula", "diameter BFS", "formula = BFS")
 	for n := 1; n <= maxN; n++ {
-		d := topology.MustDualCube(n)
+		d, err := topology.NewDualCube(n)
+		if err != nil {
+			return "", fmt.Errorf("E2 n=%d: %w", n, err)
+		}
 		bfs := "-"
 		match := "(not run)"
 		if n <= bfsMax {
@@ -75,7 +78,7 @@ func E2Topology(maxN, bfsMax int) string {
 		t.row(itoa(n), itoa(d.Nodes()), itoa(d.Order()), itoa(topology.EdgeCount(d)),
 			itoa(d.Diameter()), bfs, match)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // E4Prefix measures D_prefix against Theorem 1 for n in [1, maxN], with
@@ -167,24 +170,28 @@ func E9E10CubeSortAndOverhead(maxN int) (string, error) {
 // E11Compare contrasts the dual-cube with the equal-sized hypercube and
 // the bounded-degree competitors from the paper's introduction at
 // comparable node counts.
-func E11Compare() string {
+func E11Compare() (string, error) {
 	t := newTable("E11 — network comparison (introduction)",
 		"network", "nodes", "degree", "edges", "diameter", "avg distance")
-	nets := []topology.Topology{
-		topology.MustDualCube(3),
-		topology.MustHypercube(5),
-		topology.MustCCC(3),
-		topology.MustButterfly(3),
-		topology.MustDeBruijn(5),
-		topology.MustShuffleExchange(5),
-		topology.MustDualCube(4),
-		topology.MustHypercube(7),
-		topology.MustCCC(5),
-		topology.MustButterfly(5),
-		topology.MustDeBruijn(7),
-		topology.MustShuffleExchange(7),
+	makers := []func() (topology.Topology, error){
+		func() (topology.Topology, error) { return topology.NewDualCube(3) },
+		func() (topology.Topology, error) { return topology.NewHypercube(5) },
+		func() (topology.Topology, error) { return topology.NewCCC(3) },
+		func() (topology.Topology, error) { return topology.NewButterfly(3) },
+		func() (topology.Topology, error) { return topology.NewDeBruijn(5) },
+		func() (topology.Topology, error) { return topology.NewShuffleExchange(5) },
+		func() (topology.Topology, error) { return topology.NewDualCube(4) },
+		func() (topology.Topology, error) { return topology.NewHypercube(7) },
+		func() (topology.Topology, error) { return topology.NewCCC(5) },
+		func() (topology.Topology, error) { return topology.NewButterfly(5) },
+		func() (topology.Topology, error) { return topology.NewDeBruijn(7) },
+		func() (topology.Topology, error) { return topology.NewShuffleExchange(7) },
 	}
-	for _, net := range nets {
+	for _, mk := range makers {
+		net, err := mk()
+		if err != nil {
+			return "", fmt.Errorf("E11: %w", err)
+		}
 		st := topology.Analyze(net)
 		deg := itoa(st.Degree)
 		if !st.Regular {
@@ -193,7 +200,7 @@ func E11Compare() string {
 		t.row(st.Name, itoa(st.Nodes), deg, itoa(st.Edges), itoa(st.Diameter),
 			fmt.Sprintf("%.3f", st.AvgDist))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // E12Large measures the large-input generalization (future-work item 1):
@@ -289,19 +296,20 @@ func E13Collectives(maxN int) (string, error) {
 // tables. This is what cmd/dcbench prints and what EXPERIMENTS.md records.
 func All() (string, error) {
 	var sb strings.Builder
-	sb.WriteString(E2Topology(8, 4))
-	sb.WriteString("\n")
 	for _, f := range []func() (string, error){
+		func() (string, error) { return E2Topology(8, 4) },
 		func() (string, error) { return E4Prefix(7) },
 		func() (string, error) { return E5CubePrefix(13) },
 		func() (string, error) { return E8Sort(6) },
 		func() (string, error) { return E9E10CubeSortAndOverhead(6) },
-		func() (string, error) { return E11Compare(), nil },
+		E11Compare,
 		func() (string, error) { return E12Large(3, []int{1, 4, 16, 64}) },
 		func() (string, error) { return E13Collectives(7) },
 		func() (string, error) { return E14LinkLoads(5) },
 		func() (string, error) { return E16Emulation(5) },
 		func() (string, error) { return E17SampleSort(5, 16) },
+		func() (string, error) { return E18FaultSweep(4, 6, 2008) },
+		func() (string, error) { return E19FaultTolerance(6, 20, 2008) },
 	} {
 		s, err := f()
 		if err != nil {

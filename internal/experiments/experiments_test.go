@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
 func TestE2Topology(t *testing.T) {
-	s := E2Topology(4, 3)
+	s, err := E2Topology(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(s, "E2") || !strings.Contains(s, "| 4 | 128 | 4 |") {
 		t.Errorf("E2 table malformed:\n%s", s)
 	}
@@ -70,7 +74,10 @@ func TestE9E10(t *testing.T) {
 }
 
 func TestE11Compare(t *testing.T) {
-	s := E11Compare()
+	s, err := E11Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"D_3", "Q_5", "CCC_3", "WBF_3", "DB_5", "SE_5"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("E11 missing %s:\n%s", want, s)
@@ -146,6 +153,71 @@ func TestE16Emulation(t *testing.T) {
 	// n=3: D_3 comm 13, Q_5 comm 5, ratio 2.60.
 	if !strings.Contains(s, "| 3 | 32 | 13 | 5 | 2.60 | yes | yes |") {
 		t.Errorf("E16 table:\n%s", s)
+	}
+}
+
+func TestE18FaultSweep(t *testing.T) {
+	s, err := E18FaultSweep(4, 4, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "E18") {
+		t.Errorf("E18 header missing:\n%s", s)
+	}
+	if strings.Contains(s, "| NO |") {
+		t.Errorf("E18 reports an incorrect prefix:\n%s", s)
+	}
+	// f = 0 row: no detours, measured comm equals the fault-free 2n = 8.
+	if !strings.Contains(s, "| 4 | 128 | 0 | 8 | 8 | 9 | 0 | 0 | 0 hops |") {
+		t.Errorf("E18 fault-free row:\n%s", s)
+	}
+	if strings.Count(s, "| yes |") != 4 { // f = 0..3
+		t.Errorf("E18 should have 4 correct rows:\n%s", s)
+	}
+}
+
+func TestE18FaultSweepJSON(t *testing.T) {
+	s, err := E18FaultSweepJSON(4, 4, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 JSON lines, got %d:\n%s", len(lines), s)
+	}
+	for i, line := range lines {
+		var p FaultSweepPoint
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if p.N != 4 || p.Faults != i || !p.Correct {
+			t.Errorf("line %d: n=%d f=%d correct=%v", i, p.N, p.Faults, p.Correct)
+		}
+		if p.CommMeasured != p.CommFaultFree+p.Overhead {
+			t.Errorf("line %d: measured %d != fault-free %d + overhead %d",
+				i, p.CommMeasured, p.CommFaultFree, p.Overhead)
+		}
+		if p.DownLinks != 2*p.Faults {
+			t.Errorf("line %d: down links %d, want %d", i, p.DownLinks, 2*p.Faults)
+		}
+	}
+}
+
+func TestE19FaultTolerance(t *testing.T) {
+	s, err := E19FaultTolerance(4, 5, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every random f = n-1 plan leaves the network connected...
+	if !strings.Contains(s, "5/5") || strings.Contains(s, "0/5") {
+		t.Errorf("E19 connectivity trials:\n%s", s)
+	}
+	// ...and the adversarial node cut always disconnects it.
+	if strings.Contains(s, "| NO |") {
+		t.Errorf("E19 node cut failed to disconnect:\n%s", s)
+	}
+	if !strings.Contains(s, "| 3 link faults |") {
+		t.Errorf("E19 tolerance column for n=4:\n%s", s)
 	}
 }
 

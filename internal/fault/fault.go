@@ -1,0 +1,207 @@
+// Package fault provides seeded, reproducible fault plans for the dual-cube
+// machine: which links and nodes are permanently down for a run and which
+// messages the wire transiently loses or holds back. A Plan is the user-level
+// description (seeds and probabilities); Spec compiles it into the
+// topology-neutral machine.FaultSpec the engine arms, and View is the global
+// post-diagnosis picture of the permanent faults that fault-tolerant routing
+// (internal/dcomm) and the degraded algorithms (internal/prefix) consult.
+//
+// Everything here is deterministic: the same Plan produces the same faults,
+// the same per-cycle drop/delay decisions, and therefore the same Stats.Faults
+// under either scheduler and any worker count. Transient decisions are pure
+// functions of (seed, src, dst, cycle) via a splitmix64-style hash — no shared
+// RNG state exists to race on.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// Link is an undirected dual-cube link named by its endpoints. The zero Link
+// is not meaningful; use Normalize to compare links regardless of endpoint
+// order.
+type Link struct {
+	U, V int
+}
+
+// Normalize returns the link with its endpoints in ascending order.
+func (l Link) Normalize() Link {
+	if l.U > l.V {
+		return Link{l.V, l.U}
+	}
+	return l
+}
+
+func (l Link) String() string { return fmt.Sprintf("%d-%d", l.U, l.V) }
+
+// Plan is a reproducible fault scenario. The permanent part (Links, Nodes) is
+// explicit; the transient part is probabilistic but seeded, so every run of
+// the same plan sees the same drops and delays. A Plan must not be mutated
+// after its Spec has been taken; share one *Plan across runs to reuse the
+// engine's compiled fault mask.
+type Plan struct {
+	// Seed drives every transient decision. Plans with equal Seed and equal
+	// probabilities make identical per-message choices.
+	Seed int64
+	// Links are permanently failed undirected links.
+	Links []Link
+	// Nodes are permanently failed (fail-stop) nodes: all incident links die.
+	Nodes []int
+	// DropProb is the probability that any given message is lost in flight.
+	DropProb float64
+	// DelayProb is the probability that any given message is held back; a
+	// delayed message suffers 1..MaxDelay extra cycles (MaxDelay 0 means 1).
+	DelayProb float64
+	MaxDelay  int
+
+	once sync.Once
+	spec *machine.FaultSpec
+}
+
+// Spec compiles the plan into the engine-facing fault spec, caching the
+// result so repeated runs arm the identical pointer (which lets the engine
+// reuse its compiled per-link mask). A nil plan yields a nil spec — fault-free.
+func (p *Plan) Spec() *machine.FaultSpec {
+	if p == nil {
+		return nil
+	}
+	p.once.Do(func() {
+		s := &machine.FaultSpec{
+			Links: make([][2]int, len(p.Links)),
+			Nodes: append([]int(nil), p.Nodes...),
+		}
+		for i, l := range p.Links {
+			s.Links[i] = [2]int{l.U, l.V}
+		}
+		if p.DropProb > 0 {
+			seed, prob := p.Seed, p.DropProb
+			s.Drop = func(src, dst, cycle int) bool {
+				return roll(seed, rollDrop, src, dst, cycle) < prob
+			}
+		}
+		if p.DelayProb > 0 {
+			seed, prob := p.Seed, p.DelayProb
+			maxDelay := p.MaxDelay
+			if maxDelay < 1 {
+				maxDelay = 1
+			}
+			s.Delay = func(src, dst, cycle int) int {
+				if roll(seed, rollDelay, src, dst, cycle) >= prob {
+					return 0
+				}
+				return 1 + int(hash(seed, rollDelaySpan, src, dst, cycle)%uint64(maxDelay))
+			}
+		}
+		p.spec = s
+	})
+	return p.spec
+}
+
+// Validate checks the plan against a topology: every failed link must be an
+// edge of d, every failed node an address, and the probabilities sensible.
+// The engine re-checks links when arming; Validate exists so commands can
+// reject bad plans before spending a run.
+func (p *Plan) Validate(d *topology.DualCube) error {
+	if p == nil {
+		return nil
+	}
+	for _, l := range p.Links {
+		if !d.Valid(l.U) || !d.Valid(l.V) || !d.HasEdge(l.U, l.V) {
+			return fmt.Errorf("fault: plan fails link %v, which is not a link of %s", l, d.Name())
+		}
+	}
+	for _, u := range p.Nodes {
+		if !d.Valid(u) {
+			return fmt.Errorf("fault: plan fails node %d, outside %s", u, d.Name())
+		}
+	}
+	if p.DropProb < 0 || p.DropProb > 1 || p.DelayProb < 0 || p.DelayProb > 1 {
+		return fmt.Errorf("fault: probabilities must lie in [0, 1]")
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("fault: MaxDelay must be non-negative")
+	}
+	return nil
+}
+
+// RandomLinks picks f distinct links of d uniformly at random, deterministic
+// in seed: the canonical edge list is partially Fisher-Yates shuffled by a
+// seeded PRNG. Callers wanting the paper-grade guarantee keep f <= n-1, the
+// link connectivity of D_n, but any f up to the edge count is accepted.
+func RandomLinks(d *topology.DualCube, f int, seed int64) []Link {
+	edges := allLinks(d)
+	if f < 0 {
+		f = 0
+	}
+	if f > len(edges) {
+		f = len(edges)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < f; i++ {
+		j := i + r.Intn(len(edges)-i)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	out := edges[:f:f]
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Random builds a plan of f random permanent link faults — the standard
+// scenario of the fault-sweep experiments.
+func Random(d *topology.DualCube, f int, seed int64) *Plan {
+	return &Plan{Seed: seed, Links: RandomLinks(d, f, seed)}
+}
+
+// allLinks enumerates every undirected link of d in canonical (U < V) order.
+func allLinks(d *topology.DualCube) []Link {
+	edges := make([]Link, 0, d.Nodes()*d.Order()/2)
+	for u := 0; u < d.Nodes(); u++ {
+		for _, v := range d.Neighbors(u) {
+			if u < v {
+				edges = append(edges, Link{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// rollX tag the independent hash streams carved out of one seed.
+const (
+	rollDrop = iota
+	rollDelay
+	rollDelaySpan
+)
+
+// hash is a splitmix64-style avalanche over (seed, kind, src, dst, cycle) —
+// stateless, so drop/delay decisions are reproducible under any scheduler.
+func hash(seed int64, kind, src, dst, cycle int) uint64 {
+	x := uint64(seed)
+	for _, v := range [4]uint64{uint64(kind), uint64(src), uint64(dst), uint64(cycle)} {
+		x = mix(x ^ v)
+	}
+	return x
+}
+
+// mix is the splitmix64 finalizer.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll maps a hash to a uniform float64 in [0, 1).
+func roll(seed int64, kind, src, dst, cycle int) float64 {
+	return float64(hash(seed, kind, src, dst, cycle)>>11) / (1 << 53)
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"testing"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// TestRandomLinksDeterministic checks the seed contract: same seed, same
+// links; different seeds, (almost surely) different links; all results are
+// distinct real edges.
+func TestRandomLinksDeterministic(t *testing.T) {
+	d := topology.MustDualCube(4)
+	f := d.Order() - 1
+	a := RandomLinks(d, f, 42)
+	b := RandomLinks(d, f, 42)
+	if len(a) != f {
+		t.Fatalf("got %d links, want %d", len(a), f)
+	}
+	seen := make(map[Link]bool)
+	for i, l := range a {
+		if l != b[i] {
+			t.Errorf("seed 42 not reproducible: %v vs %v", a, b)
+		}
+		if !d.HasEdge(l.U, l.V) {
+			t.Errorf("%v is not an edge of %s", l, d.Name())
+		}
+		if seen[l.Normalize()] {
+			t.Errorf("duplicate link %v", l)
+		}
+		seen[l.Normalize()] = true
+	}
+	c := RandomLinks(d, f, 43)
+	same := len(c) == len(a)
+	for i := range c {
+		same = same && c[i] == a[i]
+	}
+	if same {
+		t.Errorf("seeds 42 and 43 chose identical links %v", a)
+	}
+}
+
+// TestRandomLinksBounds checks clamping of degenerate f.
+func TestRandomLinksBounds(t *testing.T) {
+	d := topology.MustDualCube(2)
+	if got := RandomLinks(d, -3, 1); len(got) != 0 {
+		t.Errorf("f=-3: got %v, want empty", got)
+	}
+	edges := d.Nodes() * d.Order() / 2
+	if got := RandomLinks(d, edges+10, 1); len(got) != edges {
+		t.Errorf("f>edges: got %d links, want all %d", len(got), edges)
+	}
+}
+
+// TestSpecCachedAndDeterministic checks that Spec returns the identical
+// pointer every call (the engine's compile-once contract) and that its
+// transient predicates are pure functions of their arguments.
+func TestSpecCachedAndDeterministic(t *testing.T) {
+	p := &Plan{Seed: 7, DropProb: 0.3, DelayProb: 0.3, MaxDelay: 3}
+	s := p.Spec()
+	if s != p.Spec() {
+		t.Fatal("Spec not cached: distinct pointers across calls")
+	}
+	twin := &Plan{Seed: 7, DropProb: 0.3, DelayProb: 0.3, MaxDelay: 3}
+	s2 := twin.Spec()
+	drops, delays := 0, 0
+	for src := 0; src < 8; src++ {
+		for cycle := 0; cycle < 50; cycle++ {
+			dst := src ^ 1
+			if s.Drop(src, dst, cycle) != s2.Drop(src, dst, cycle) {
+				t.Fatalf("Drop(%d,%d,%d) differs between equal plans", src, dst, cycle)
+			}
+			if s.Delay(src, dst, cycle) != s2.Delay(src, dst, cycle) {
+				t.Fatalf("Delay(%d,%d,%d) differs between equal plans", src, dst, cycle)
+			}
+			if s.Drop(src, dst, cycle) {
+				drops++
+			}
+			if dl := s.Delay(src, dst, cycle); dl > 0 {
+				delays++
+				if dl > 3 {
+					t.Fatalf("Delay(%d,%d,%d) = %d exceeds MaxDelay", src, dst, cycle, dl)
+				}
+			}
+		}
+	}
+	// 400 samples at p=0.3: both event kinds must actually fire.
+	if drops == 0 || delays == 0 {
+		t.Errorf("predicates never fired: %d drops, %d delays", drops, delays)
+	}
+	if (&Plan{}).Spec().Drop != nil {
+		t.Error("zero-probability plan grew a Drop predicate")
+	}
+	var nilPlan *Plan
+	if nilPlan.Spec() != nil {
+		t.Error("nil plan must compile to nil spec")
+	}
+}
+
+// TestValidate checks plan screening against a topology.
+func TestValidate(t *testing.T) {
+	d := topology.MustDualCube(2)
+	good := &Plan{Links: []Link{{0, d.CrossNeighbor(0)}}, Nodes: []int{1}}
+	if err := good.Validate(d); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	for _, bad := range []*Plan{
+		{Links: []Link{{0, 3}}},
+		{Nodes: []int{-1}},
+		{DropProb: 1.5},
+		{MaxDelay: -1},
+	} {
+		if bad.Validate(d) == nil {
+			t.Errorf("plan %+v passed validation", bad)
+		}
+	}
+}
+
+// TestViewBasics checks the fault predicates and the canonical down-link
+// enumeration, including links killed transitively by node failures.
+func TestViewBasics(t *testing.T) {
+	d := topology.MustDualCube(2)
+	dead := Link{d.CrossNeighbor(0), 0} // deliberately unnormalized
+	v := NewView(d, &Plan{Links: []Link{dead}, Nodes: []int{3}})
+	if v.Clean() {
+		t.Fatal("view with faults reports clean")
+	}
+	if !v.LinkDown(0, d.CrossNeighbor(0)) || !v.LinkDown(d.CrossNeighbor(0), 0) {
+		t.Error("failed link not down in both orientations")
+	}
+	if !v.NodeDown(3) || v.NodeDown(0) {
+		t.Error("node fault misreported")
+	}
+	for _, w := range d.Neighbors(3) {
+		if !v.LinkDown(3, w) {
+			t.Errorf("link 3-%d incident to dead node not down", w)
+		}
+	}
+	want := 1 + d.Order() // explicit link + node 3's incident links (disjoint here)
+	if got := v.DownLinks(); len(got) != want {
+		t.Errorf("DownLinks = %v, want %d links", got, want)
+	}
+	var nilView *View
+	if !nilView.Clean() || nilView.LinkDown(0, 1) || nilView.NodeDown(0) || nilView.DownLinks() != nil {
+		t.Error("nil view must be clean")
+	}
+	if NewView(d, &Plan{Seed: 1, DropProb: 0.5}) != nil {
+		t.Error("transient-only plan must yield a nil (clean) view")
+	}
+}
+
+// TestViewPath checks detour computation: alive, shortest-alive, and
+// deterministic across repeated calls, for every surviving pair under a
+// random f = n-1 plan.
+func TestViewPath(t *testing.T) {
+	d := topology.MustDualCube(3)
+	plan := Random(d, d.Order()-1, 99)
+	v := NewView(d, plan)
+	for u := 0; u < d.Nodes(); u++ {
+		for _, w := range d.Neighbors(u) {
+			p := v.Path(u, w)
+			if p == nil {
+				t.Fatalf("no alive path %d..%d under %d link faults (connectivity violated?)", u, w, len(plan.Links))
+			}
+			if p[0] != u || p[len(p)-1] != w {
+				t.Fatalf("path %v does not join %d..%d", p, u, w)
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if !d.HasEdge(p[i], p[i+1]) {
+					t.Fatalf("path %v uses non-edge %d-%d", p, p[i], p[i+1])
+				}
+				if v.LinkDown(p[i], p[i+1]) {
+					t.Fatalf("path %v uses down link %d-%d", p, p[i], p[i+1])
+				}
+			}
+			if !v.LinkDown(u, w) && len(p) != 2 {
+				t.Fatalf("alive direct link %d-%d got detour %v", u, w, p)
+			}
+			again := v.Path(u, w)
+			for i := range p {
+				if p[i] != again[i] {
+					t.Fatalf("Path(%d,%d) not deterministic: %v vs %v", u, w, p, again)
+				}
+			}
+		}
+	}
+	if v.Path(0, 0) == nil || len(v.Path(0, 0)) != 1 {
+		t.Error("self path must be the singleton")
+	}
+}
+
+// TestPlanEngineRoundTrip runs a plan through a real engine and checks the
+// static fault figures surface in Stats exactly as the plan describes.
+func TestPlanEngineRoundTrip(t *testing.T) {
+	d := topology.MustDualCube(3)
+	plan := Random(d, 2, 5)
+	eng := machine.MustNew[int](d, machine.Config{Faults: plan.Spec()})
+	defer eng.Release()
+	st, err := eng.Run(func(c *machine.Ctx[int]) { c.Idle() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults.DownLinks != 2*len(plan.Links) || st.Faults.DownNodes != 0 {
+		t.Errorf("Stats.Faults = %+v, want %d directed down links", st.Faults, 2*len(plan.Links))
+	}
+}

@@ -16,6 +16,12 @@ type Ctx[T any] struct {
 	cycle  int   // this node's local clock (== global clock under lockstep)
 	msgs   int64 // messages sent by this node, merged into Stats at run end
 
+	// Fault accounting (only written while a fault spec is armed), merged
+	// into Stats.Faults at run end like msgs.
+	refused int64 // send attempts on permanently failed links
+	dropped int64 // transient in-flight losses
+	delayed int64 // messages held back by at least one cycle
+
 	// Exactly one of the following is set per run, selecting the clock
 	// boundary mechanism: yield parks this node's persistent coroutine until
 	// its worker reaches the next cycle (worker pool; the false payload
@@ -91,45 +97,138 @@ func (c *Ctx[T]) Recv2(from1, from2 int) (T, T) {
 	return c.step(NoNode, *new(T), from1, from2)
 }
 
+// TrySend transmits v to neighbor `to` and spends the cycle (no receive) —
+// the fault-tolerant form of Send. It reports delivery refusal instead of
+// aborting the run: false means the link is permanently down under the armed
+// fault plan (the port is still spent, so the SPMD clock stays in lockstep).
+// A transient in-flight drop is indistinguishable from a successful send —
+// the wire loses the message after the sender let it go — and shows up only
+// in Stats.Faults.
+func (c *Ctx[T]) TrySend(to int, v T) bool {
+	ok := c.send(to, v, true)
+	c.boundary()
+	return ok
+}
+
+// TryRecv spends one cycle attempting to receive the pending message from
+// neighbor `from` — the fault-tolerant form of Recv. ok reports whether a
+// message was pending and visible (a delayed message stays invisible until
+// its extra latency has elapsed). Unlike Recv, an empty link is not a
+// protocol error, so protocols that must survive lost messages poll with
+// TryRecv instead of wedging the barrier.
+func (c *Ctx[T]) TryRecv(from int) (T, bool) {
+	c.boundary()
+	return c.recvFrom(from, true)
+}
+
+// TryExchange sends v to neighbor partner and attempts to receive partner's
+// message of the same cycle — the fault-tolerant form of Exchange, one clock
+// cycle. ok is false when the link is permanently down (nothing was sent or
+// received) or when the partner's message was dropped or delayed in flight.
+func (c *Ctx[T]) TryExchange(partner int, v T) (T, bool) {
+	c.send(partner, v, true)
+	c.boundary()
+	return c.recvFrom(partner, true)
+}
+
 // step is the single clock-cycle primitive: at most one send, at most two
 // receives, one clock boundary. All other methods delegate here.
 func (c *Ctx[T]) step(sendTo int, v T, recv1, recv2 int) (T, T) {
-	e := c.engine
 	if sendTo != NoNode {
-		i := e.idxOf(c.id, sendTo)
-		if i < 0 {
-			c.failf("node %d: send to %d, which is not a neighbor", c.id, sendTo)
-		}
-		s := int(e.offs[c.id]) + i
-		tail := e.tails[s] // producer-owned cursor: plain read is always safe
-		var head uint32
-		if e.atomicLinks {
-			head = atomic.LoadUint32(&e.heads[s])
-		} else {
-			head = e.heads[s]
-		}
-		if tail-head >= e.ringCap {
-			c.failf("node %d: link %d->%d buffer overflow (capacity %d)", c.id, c.id, sendTo, e.cfg.LinkCapacity)
-		}
-		e.buf[uint32(s)*e.ringSize+tail&e.ringMask] = v
-		if e.atomicLinks {
-			atomic.StoreUint32(&e.tails[s], tail+1)
-		} else {
-			e.tails[s] = tail + 1
-		}
-		c.msgs++
-		if c.worker != nil {
-			c.worker.sent = true
-		} else {
-			e.anySent.Store(true)
-		}
-		if e.onSend != nil {
-			e.onSend(c, sendTo)
-		}
+		c.send(sendTo, v, false)
 	}
 	if recv1 != NoNode && recv1 == recv2 {
 		c.failf("node %d: duplicate receive from %d in one cycle", c.id, recv1)
 	}
+	c.boundary()
+	var r1, r2 T
+	if recv1 != NoNode {
+		r1 = c.recvNow(recv1)
+	}
+	if recv2 != NoNode {
+		r2 = c.recvNow(recv2)
+	}
+	return r1, r2
+}
+
+// send posts v on the directed link to neighbor `to`. try selects the
+// fault-tolerant contract: a send on a permanently failed link reports false
+// instead of aborting the run. With no fault spec armed the fault block is a
+// single nil check.
+func (c *Ctx[T]) send(to int, v T, try bool) bool {
+	e := c.engine
+	i := e.idxOf(c.id, to)
+	if i < 0 {
+		c.failf("node %d: send to %d, which is not a neighbor", c.id, to)
+	}
+	s := int(e.offs[c.id]) + i
+	delay := 0
+	if fx := e.fx; fx != nil {
+		if fx.down[s] {
+			c.refused++
+			if !try {
+				c.failf("node %d: send to %d on a failed link", c.id, to)
+			}
+			return false
+		}
+		if fx.spec.Drop != nil && fx.spec.Drop(c.id, to, c.cycle) {
+			// The message entered the wire and was lost: the port and the
+			// hop are spent, but nothing reaches the receiver's buffer.
+			c.dropped++
+			c.msgs++
+			if c.worker != nil {
+				c.worker.sent = true
+			} else {
+				e.anySent.Store(true)
+			}
+			return true
+		}
+		if fx.spec.Delay != nil {
+			if delay = fx.spec.Delay(c.id, to, c.cycle); delay < 0 {
+				delay = 0
+			}
+			if delay > 0 {
+				c.delayed++
+			}
+		}
+	}
+	tail := e.tails[s] // producer-owned cursor: plain read is always safe
+	var head uint32
+	if e.atomicLinks {
+		head = atomic.LoadUint32(&e.heads[s])
+	} else {
+		head = e.heads[s]
+	}
+	if tail-head >= e.ringCap {
+		c.failf("node %d: link %d->%d buffer overflow (capacity %d)", c.id, c.id, to, e.cfg.LinkCapacity)
+	}
+	idx := uint32(s)*e.ringSize + tail&e.ringMask
+	e.buf[idx] = v
+	if fx := e.fx; fx != nil && fx.stamps != nil {
+		// Written before the tail store, read by the consumer only after it
+		// observes the new tail — the same release/acquire protocol as buf.
+		fx.stamps[idx] = uint32(c.cycle + delay)
+	}
+	if e.atomicLinks {
+		atomic.StoreUint32(&e.tails[s], tail+1)
+	} else {
+		e.tails[s] = tail + 1
+	}
+	c.msgs++
+	if c.worker != nil {
+		c.worker.sent = true
+	} else {
+		e.anySent.Store(true)
+	}
+	if e.onSend != nil {
+		e.onSend(c, to)
+	}
+	return true
+}
+
+// boundary is the clock edge: park until every node has finished the cycle.
+func (c *Ctx[T]) boundary() {
+	e := c.engine
 	if c.yield != nil {
 		if !c.yield(false) || e.state == roundAbort {
 			// A false return means the engine is being torn down with this
@@ -141,22 +240,22 @@ func (c *Ctx[T]) step(sendTo int, v T, recv1, recv2 int) (T, T) {
 		panic(abortPanic{err})
 	}
 	c.cycle++
-	var r1, r2 T
-	if recv1 != NoNode {
-		r1 = c.recvNow(recv1)
-	}
-	if recv2 != NoNode {
-		r2 = c.recvNow(recv2)
-	}
-	return r1, r2
 }
 
 // recvNow pops the oldest pending message on the link from -> id. It never
 // blocks: by the time the clock boundary has released us, every message of
 // the current cycle has been posted, so an empty link is a protocol error.
-// The incoming slot is read from the precomputed inSlot table; no adjacency
-// scan happens here.
 func (c *Ctx[T]) recvNow(from int) T {
+	v, _ := c.recvFrom(from, false)
+	return v
+}
+
+// recvFrom pops the oldest visible message on the link from -> id. try
+// selects the fault-tolerant contract: an empty link — or one whose head
+// message is still delayed in flight — reports ok = false instead of
+// aborting the run. The incoming slot is read from the precomputed inSlot
+// table; no adjacency scan happens here.
+func (c *Ctx[T]) recvFrom(from int, try bool) (T, bool) {
 	e := c.engine
 	i := e.idxOf(c.id, from)
 	if i < 0 {
@@ -170,10 +269,14 @@ func (c *Ctx[T]) recvNow(from int) T {
 	} else {
 		tail = e.tails[s]
 	}
-	if tail == head {
+	idx := uint32(s)*e.ringSize + head&e.ringMask
+	if tail == head || !c.visible(idx) {
+		if try {
+			var zero T
+			return zero, false
+		}
 		c.failf("node %d: receive from %d on an empty link", c.id, from)
 	}
-	idx := uint32(s)*e.ringSize + head&e.ringMask
 	v := e.buf[idx]
 	var zero T
 	e.buf[idx] = zero // release references held by the buffered element
@@ -182,7 +285,17 @@ func (c *Ctx[T]) recvNow(from int) T {
 	} else {
 		e.heads[s] = head + 1
 	}
-	return v
+	return v, true
+}
+
+// visible reports whether the buffered message at idx has cleared its
+// injected latency: messages are stamped with send cycle + delay and become
+// receivable strictly after that cycle, which for an undelayed message is
+// the same cycle it was sent in (the receiver's clock has already advanced
+// past the boundary).
+func (c *Ctx[T]) visible(idx uint32) bool {
+	fx := c.engine.fx
+	return fx == nil || fx.stamps == nil || fx.stamps[idx] < uint32(c.cycle)
 }
 
 // failf aborts the whole run with a formatted protocol error and unwinds

@@ -172,6 +172,13 @@ type Config struct {
 	// (SetDefaultWorkers's value if set, otherwise GOMAXPROCS); the engine
 	// clamps W to the node count.
 	Workers int
+	// Faults arms a fault specification for every run of the engine: the
+	// listed links and nodes are permanently down and the Drop/Delay hooks
+	// perturb messages in flight (see FaultSpec). nil falls back to the
+	// package default armed with SetDefaultFaults (usually nothing). The
+	// spec is compared by pointer when engines are recycled, so reuse one
+	// *FaultSpec value per plan.
+	Faults *FaultSpec
 }
 
 // withDefaults resolves zero Config fields against the package defaults for
@@ -210,12 +217,13 @@ func (c Config) withDefaults(n int) Config {
 
 // Stats reports the cost of one run in the paper's measures.
 type Stats struct {
-	Nodes      int   // number of nodes that ran
-	Cycles     int   // total clock cycles (communication time incl. idle cycles)
-	CommCycles int   // cycles in which at least one message was sent
-	Messages   int64 // total messages = total hops
-	MaxOps     int   // max per-node computation rounds = parallel computation time
-	TotalOps   int64 // sum of computation rounds over all nodes
+	Nodes      int        // number of nodes that ran
+	Cycles     int        // total clock cycles (communication time incl. idle cycles)
+	CommCycles int        // cycles in which at least one message was sent
+	Messages   int64      // total messages = total hops
+	MaxOps     int        // max per-node computation rounds = parallel computation time
+	TotalOps   int64      // sum of computation rounds over all nodes
+	Faults     FaultStats // fault-injection breakdown; zero when no plan is armed
 }
 
 // Add returns the combined cost of two phases of a composite algorithm that
@@ -239,6 +247,7 @@ func (a Stats) Add(b Stats) Stats {
 		Messages:   a.Messages + b.Messages,
 		MaxOps:     a.MaxOps + b.MaxOps,
 		TotalOps:   a.TotalOps + b.TotalOps,
+		Faults:     a.Faults.add(b.Faults),
 	}
 }
 
@@ -287,6 +296,10 @@ type engineState[T any] struct {
 	atomicLinks bool
 
 	nodes []Ctx[T] // per-node contexts, reused across runs
+
+	// fx is the compiled form of the armed fault spec, nil when the run is
+	// fault-free — the send and receive paths check only this one pointer.
+	fx *armedFaults
 
 	cycles     int                      // barrier rounds completed (leader-written)
 	commCycles int                      // rounds whose send phase carried traffic
@@ -535,6 +548,11 @@ func (e *Engine[T]) run(program func(c *Ctx[T]), onSend func(c *Ctx[T], dst int)
 	if e.released {
 		panic("machine: Engine used after Release")
 	}
+	// The body below only touches the inner engineState, so without this
+	// pin the Engine handle can become unreachable mid-run and its
+	// finalizer (sched_pool.go) would unwind coroutines that are still
+	// stepping.
+	defer runtime.KeepAlive(e)
 	s := e.engineState
 	s.onSend = onSend
 	s.cycles = 0
@@ -544,9 +562,13 @@ func (e *Engine[T]) run(program func(c *Ctx[T]), onSend func(c *Ctx[T], dst int)
 	s.failMu.Lock()
 	s.firstErr = nil
 	s.failMu.Unlock()
+	if err := s.armFaults(); err != nil {
+		return Stats{Nodes: s.n}, err
+	}
 	for u := range s.nodes {
 		c := &s.nodes[u]
 		c.ops, c.cycle, c.msgs = 0, 0, 0
+		c.refused, c.dropped, c.delayed = 0, 0, 0
 		c.worker = nil
 	}
 
@@ -586,6 +608,10 @@ func (e *Engine[T]) run(program func(c *Ctx[T]), onSend func(c *Ctx[T], dst int)
 		Cycles:     s.cycles,
 		CommCycles: s.commCycles,
 	}
+	if s.fx != nil {
+		st.Faults.DownLinks = s.fx.downLinks
+		st.Faults.DownNodes = s.fx.downNodes
+	}
 	for u := range s.nodes {
 		c := &s.nodes[u]
 		st.Messages += c.msgs
@@ -593,6 +619,9 @@ func (e *Engine[T]) run(program func(c *Ctx[T]), onSend func(c *Ctx[T], dst int)
 			st.MaxOps = c.ops
 		}
 		st.TotalOps += int64(c.ops)
+		st.Faults.RefusedSends += c.refused
+		st.Faults.DroppedMessages += c.dropped
+		st.Faults.DelayedMessages += c.delayed
 	}
 	if err != nil {
 		s.drainLinks()
