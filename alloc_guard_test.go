@@ -41,3 +41,61 @@ func TestNoPlanPrefixAllocGuard(t *testing.T) {
 		t.Fatalf("D_prefix on D_%d with no fault plan: %.0f allocs/op, budget %d (PR-1 level 17)", n, allocs, budget)
 	}
 }
+
+// TestWarmRuntimeAllocGuard pins the steady-state allocation cost of Runtime
+// operations once the engine pool and schedule cache are warm. Building the
+// D_6 machine from scratch costs thousands of allocations (2048 node
+// contexts, channels, coroutine stacks); a warm run must check everything
+// out of the caches, so the budgets below — result slices plus fixed run
+// bookkeeping — would be blown by even one stray per-node allocation. This
+// is the contract the Runtime layer exists for: steady-state operations
+// construct no topology, no engine, and no schedule.
+func TestWarmRuntimeAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	const n = 6
+	rt, err := NewRuntime(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Warm()
+	in := make([]int, rt.Nodes())
+	for i := range in {
+		in[i] = i*2654435761 + 1
+	}
+	SetSimWorkers(1)
+	defer SetSimWorkers(0)
+
+	cases := []struct {
+		name   string
+		budget float64
+		run    func() error
+	}{
+		{"PrefixOn", 24, func() error {
+			_, _, err := PrefixOn(rt, in)
+			return err
+		}},
+		{"AllReduceSumOn", 24, func() error {
+			_, _, err := AllReduceSumOn(rt, in)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm up once so the typed engine for this operation is pooled.
+			if err := tc.run(); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := tc.run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > tc.budget {
+				t.Fatalf("warm %s on D_%d: %.0f allocs/op, budget %.0f — steady-state runs must not rebuild topology or engines", tc.name, n, allocs, tc.budget)
+			}
+			t.Logf("warm %s on D_%d: %.0f allocs/op (budget %.0f)", tc.name, n, allocs, tc.budget)
+		})
+	}
+}

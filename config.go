@@ -68,7 +68,7 @@ func SetSimFaultPlan(plan *FaultPlan) { machine.SetDefaultFaults(plan.Spec()) }
 // every fault-tolerant schedule survives; larger f is allowed but may
 // disconnect the network.
 func RandomFaultPlan(n, f int, seed int64) (*FaultPlan, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Shared(n)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"dualcube/internal/dcomm"
 	"dualcube/internal/machine"
 	"dualcube/internal/monoid"
 	"dualcube/internal/topology"
@@ -35,7 +36,7 @@ type pkt[T any] struct {
 // Per-node buffers stay at N items throughout (the routing is perfectly
 // balanced for the full personalized exchange).
 func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
-	d, err := validate(n, len(in))
+	d, err := topology.Validated(n, len(in))
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
@@ -46,6 +47,7 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 		}
 	}
 	m := d.ClusterDim()
+	sch := dcomm.Compiled(d, dcomm.OpAllToAll)
 	fieldMask := d.ClusterSize() - 1
 
 	// key is the within-cluster routing target of an item at a node of the
@@ -72,6 +74,7 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 		class := d.Class(u)
 		local := d.LocalID(u)
 		myIdx := d.DataIndex(u)
+		x := machine.Interpret(c, sch)
 
 		buf := make([]pkt[T], N)
 		for j := 0; j < N; j++ {
@@ -91,16 +94,16 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 						keep = append(keep, p)
 					}
 				}
-				got := c.Exchange(d.ClusterNeighbor(u, i), send)
+				got := x.Exchange(send)
 				buf = append(keep, got...)
 				c.Ops(1)
 			}
 		}
 
-		clusterRoute()                            // phase 1
-		buf = c.Exchange(d.CrossNeighbor(u), buf) // phase 2
-		clusterRoute()                            // phase 3
-		keep := make([]pkt[T], 0, len(buf))       // phase 4
+		clusterRoute()                      // phase 1
+		buf = x.Exchange(buf)               // phase 2
+		clusterRoute()                      // phase 3
+		keep := make([]pkt[T], 0, len(buf)) // phase 4
 		var send []pkt[T]
 		for _, p := range buf {
 			switch dstNode(p) {
@@ -112,7 +115,7 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 				panic(fmt.Sprintf("collective: all-to-all item (%d->%d) stranded at node %d", p.src, p.dst, u))
 			}
 		}
-		got := c.Exchange(d.CrossNeighbor(u), send)
+		got := x.Exchange(send)
 		buf = append(keep, got...)
 
 		if len(buf) != N {

@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"dualcube/internal/dcomm"
 	"dualcube/internal/machine"
 	"dualcube/internal/topology"
 )
@@ -22,7 +23,7 @@ type vpkt[T any] struct {
 // This is the exchange primitive bucket-based algorithms (sample sort,
 // radix partitioning) need.
 func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
-	d, err := validate(n, len(in))
+	d, err := topology.Validated(n, len(in))
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
@@ -33,6 +34,7 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 		}
 	}
 	m := d.ClusterDim()
+	sch := dcomm.Compiled(d, dcomm.OpAllToAll)
 	fieldMask := d.ClusterSize() - 1
 	key := func(class int, dstNode topology.NodeID) int {
 		if class == 0 {
@@ -55,6 +57,7 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 		class := d.Class(u)
 		local := d.LocalID(u)
 		myIdx := d.DataIndex(u)
+		x := machine.Interpret(c, sch)
 
 		buf := make([]vpkt[T], 0, N)
 		for j := 0; j < N; j++ {
@@ -73,16 +76,16 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 						keep = append(keep, p)
 					}
 				}
-				got := c.Exchange(d.ClusterNeighbor(u, i), send)
+				got := x.Exchange(send)
 				buf = append(keep, got...)
 				c.Ops(1)
 			}
 		}
 
-		clusterRoute()                            // phase 1
-		buf = c.Exchange(d.CrossNeighbor(u), buf) // phase 2
-		clusterRoute()                            // phase 3
-		keep := make([]vpkt[T], 0, len(buf))      // phase 4
+		clusterRoute()                       // phase 1
+		buf = x.Exchange(buf)                // phase 2
+		clusterRoute()                       // phase 3
+		keep := make([]vpkt[T], 0, len(buf)) // phase 4
 		var send []vpkt[T]
 		for _, p := range buf {
 			switch dstNode(p) {
@@ -94,7 +97,7 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 				panic(fmt.Sprintf("collective: all-to-all-v bundle (%d->%d) stranded at node %d", p.src, p.dst, u))
 			}
 		}
-		got := c.Exchange(d.CrossNeighbor(u), send)
+		got := x.Exchange(send)
 		buf = append(keep, got...)
 
 		if len(buf) != N {

@@ -8,27 +8,22 @@
 // work inside the clusters of the other class (n-1 steps), hop back
 // (1 step) — 2n communication steps in total, matching the diameter 2n of
 // D_n, so each collective is asymptotically optimal.
+//
+// Each operation's skeleton is compiled once per order into a shared
+// machine.Schedule (dcomm.Compiled) and the node programs walk it through an
+// Exec cursor: the schedule supplies each step's partner, the program
+// supplies the per-step role (send, receive, exchange, idle) and the payload
+// logic.
 package collective
 
 import (
 	"fmt"
 
+	"dualcube/internal/dcomm"
 	"dualcube/internal/machine"
 	"dualcube/internal/monoid"
 	"dualcube/internal/topology"
 )
-
-// validate constructs D_n and checks the value-slice length.
-func validate(n, lenIn int) (*topology.DualCube, error) {
-	d, err := topology.NewDualCube(n)
-	if err != nil {
-		return nil, err
-	}
-	if lenIn != d.Nodes() {
-		return nil, fmt.Errorf("collective: input length %d != %d nodes of %s", lenIn, d.Nodes(), d.Name())
-	}
-	return d, nil
-}
 
 // Broadcast distributes value from node root to every node of D_n in 2n
 // communication steps:
@@ -44,7 +39,7 @@ func validate(n, lenIn int) (*topology.DualCube, error) {
 //
 // The returned slice is indexed by node ID.
 func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Shared(n)
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
@@ -52,6 +47,7 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
 	}
 	m := d.ClusterDim()
+	sch := dcomm.Compiled(d, dcomm.OpBroadcast)
 	rootClass := d.Class(root)
 	rootCluster := d.ClusterID(root)
 	rootLocal := d.LocalID(root)
@@ -65,6 +61,7 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 	st, err := eng.Run(func(c *machine.Ctx[T]) {
 		u := c.ID()
 		class, local := d.Class(u), d.LocalID(u)
+		x := machine.Interpret(c, sch)
 		var v T
 		have := u == root
 		if have {
@@ -78,17 +75,16 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 		for i := 0; i < m; i++ {
 			if inRootCluster {
 				mask := ^((1 << (i + 1)) - 1) // bits above i
-				partner := d.ClusterNeighbor(u, i)
 				if have && local&(1<<i) == rootLocal&(1<<i) {
-					c.Send(partner, v)
+					x.Send(v)
 				} else if !have && local&mask == rootLocal&mask {
-					v = c.Recv(partner)
+					v = x.Recv()
 					have = true
 				} else {
-					c.Idle()
+					x.Idle()
 				}
 			} else {
-				c.Idle()
+				x.Idle()
 			}
 		}
 
@@ -97,12 +93,12 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 		// node whose local ID equals root's cluster ID (the cross-edge
 		// swaps the roles of the two address fields).
 		if inRootCluster {
-			c.Send(d.CrossNeighbor(u), v)
+			x.Send(v)
 		} else if class != rootClass && local == rootCluster {
-			v = c.Recv(d.CrossNeighbor(u))
+			v = x.Recv()
 			have = true
 		} else {
-			c.Idle()
+			x.Idle()
 		}
 
 		// Phase 3: flood every cluster of the other class from its seed,
@@ -111,19 +107,18 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 			seedLocal := rootCluster
 			for i := 0; i < m; i++ {
 				mask := ^((1 << (i + 1)) - 1)
-				partner := d.ClusterNeighbor(u, i)
 				if have && local&(1<<i) == seedLocal&(1<<i) {
-					c.Send(partner, v)
+					x.Send(v)
 				} else if !have && local&mask == seedLocal&mask {
-					v = c.Recv(partner)
+					v = x.Recv()
 					have = true
 				} else {
-					c.Idle()
+					x.Idle()
 				}
 			}
 		} else {
 			for i := 0; i < m; i++ {
-				c.Idle()
+				x.Idle()
 			}
 		}
 
@@ -132,9 +127,9 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 		// value — those sends are received and discarded to keep the links
 		// clean and the schedule uniform).
 		if class != rootClass {
-			c.Send(d.CrossNeighbor(u), v)
+			x.Send(v)
 		} else {
-			w := c.Recv(d.CrossNeighbor(u))
+			w := x.Recv()
 			if !have {
 				v = w
 				have = true
@@ -164,11 +159,12 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 // before class-1, clusters in index order), so non-commutative monoids
 // receive the in-order reduction of the block data layout.
 func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, error) {
-	d, err := validate(n, len(in))
+	d, err := topology.Validated(n, len(in))
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
 	mdim := d.ClusterDim()
+	sch := dcomm.Compiled(d, dcomm.OpAllReduce)
 	out := make([]T, d.Nodes())
 	eng, err := machine.New[T](d, machine.Config{})
 	if err != nil {
@@ -178,11 +174,12 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 	st, err := eng.Run(func(c *machine.Ctx[T]) {
 		u := c.ID()
 		local := d.LocalID(u)
+		x := machine.Interpret(c, sch)
 		// t: ordered all-reduce within the cluster (order = local index,
 		// which is element order within the block).
 		t := in[d.DataIndex(u)]
 		for i := 0; i < mdim; i++ {
-			temp := c.Exchange(d.ClusterNeighbor(u, i), t)
+			temp := x.Exchange(t)
 			if local&(1<<i) != 0 {
 				t = m.Combine(temp, t)
 			} else {
@@ -191,9 +188,9 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 			c.Ops(1)
 		}
 		// Cross totals, then all-reduce them in cluster-index order.
-		t2 := c.Exchange(d.CrossNeighbor(u), t)
+		t2 := x.Exchange(t)
 		for i := 0; i < mdim; i++ {
-			temp := c.Exchange(d.ClusterNeighbor(u, i), t2)
+			temp := x.Exchange(t2)
 			if local&(1<<i) != 0 {
 				t2 = m.Combine(temp, t2)
 			} else {
@@ -203,7 +200,7 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 		}
 		// t2 is now the grand total of the OTHER class. Swap grand totals
 		// across the cross-edge and combine in class order.
-		other := c.Exchange(d.CrossNeighbor(u), t2)
+		other := x.Exchange(t2)
 		// At a class-0 node: t2 = total(class 1), other = total(class 0).
 		// At a class-1 node: t2 = total(class 0), other = total(class 1).
 		if d.Class(u) == 0 {
@@ -211,7 +208,7 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 		} else {
 			out[u] = m.Combine(t2, other)
 		}
-		c.Ops(1)
+		x.LocalOps(1)
 	})
 	if err != nil {
 		return nil, st, err
@@ -225,7 +222,7 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 // network's diameter.
 func Reduce[T any](n int, root topology.NodeID, in []T, m monoid.Monoid[T]) (T, machine.Stats, error) {
 	var zero T
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Shared(n)
 	if err != nil {
 		return zero, machine.Stats{}, err
 	}

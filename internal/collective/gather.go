@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"dualcube/internal/dcomm"
 	"dualcube/internal/machine"
 	"dualcube/internal/topology"
 )
@@ -48,7 +49,7 @@ func mergeItems[T any](a, b []item[T]) []item[T] {
 //     and root's cross neighbor holds the whole of root's class;
 //  4. root's cross neighbor hands its mega-bundle across, 1 step.
 func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, error) {
-	d, err := validate(n, len(in))
+	d, err := topology.Validated(n, len(in))
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
@@ -56,6 +57,7 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
 	}
 	m := d.ClusterDim()
+	sch := dcomm.Compiled(d, dcomm.OpGather)
 	rootClass := d.Class(root)
 	rootCluster := d.ClusterID(root)
 	rootLocal := d.LocalID(root)
@@ -69,6 +71,7 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
 		u := c.ID()
 		class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
+		x := machine.Interpret(c, sch)
 		// The collector position inside this node's cluster.
 		target := rootLocal
 		if class != rootClass {
@@ -77,25 +80,25 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 		bundle := []item[T]{{idx: d.DataIndex(u), val: in[d.DataIndex(u)]}}
 
 		// Phase 1: binomial gather of the cluster block toward target
-		// (reverse flood, dimensions m-1 down to 0).
-		gatherRound := func(i, tgt int) {
+		// (reverse flood: the schedule descends dimensions m-1 down to 0).
+		gatherRound := func(tgt int) {
+			i := x.Dim()
 			maskAbove := ^((1 << (i + 1)) - 1)
 			if local&maskAbove != tgt&maskAbove {
-				c.Idle() // already out of the collection tree at this level
+				x.Idle() // already out of the collection tree at this level
 				return
 			}
-			partner := d.ClusterNeighbor(u, i)
 			if local&(1<<i) != tgt&(1<<i) {
-				c.Send(partner, bundle)
+				x.Send(bundle)
 				bundle = nil
 			} else {
-				recv := c.Recv(partner)
+				recv := x.Recv()
 				bundle = mergeItems(bundle, recv)
 				c.Ops(1)
 			}
 		}
-		for i := m - 1; i >= 0; i-- {
-			gatherRound(i, target)
+		for i := 0; i < m; i++ {
+			gatherRound(target)
 		}
 
 		// Phase 2: collectors hop their cross-edges. Receivers are the
@@ -114,16 +117,16 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 		}()
 		switch {
 		case isCollector && crossIsCollector:
-			recv := c.SendRecv(cross, bundle, cross)
+			recv := x.SendRecv(bundle)
 			bundle = recv
 			c.Ops(1)
 		case isCollector:
-			c.Send(cross, bundle)
+			x.Send(bundle)
 			bundle = nil
 		case crossIsCollector:
-			bundle = c.Recv(cross)
+			bundle = x.Recv()
 		default:
-			c.Idle()
+			x.Idle()
 		}
 
 		// Phase 3: two clusters gather the phase-2 bundles concurrently:
@@ -136,26 +139,26 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 			if inMirrorCluster {
 				tgt = rootCluster
 			}
-			for i := m - 1; i >= 0; i-- {
-				gatherRound(i, tgt)
+			for i := 0; i < m; i++ {
+				gatherRound(tgt)
 			}
 		} else {
 			for i := 0; i < m; i++ {
-				c.Idle()
+				x.Idle()
 			}
 		}
 
 		// Phase 4: root's cross neighbor delivers the mega-bundle.
 		switch u {
 		case d.CrossNeighbor(root):
-			c.Send(cross, bundle)
+			x.Send(bundle)
 			bundle = nil
 		case root:
-			recv := c.Recv(cross)
+			recv := x.Recv()
 			bundle = mergeItems(bundle, recv)
 			c.Ops(1)
 		default:
-			c.Idle()
+			x.Idle()
 		}
 
 		if u == root {

@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"dualcube/internal/dcomm"
 	"dualcube/internal/machine"
 	"dualcube/internal/topology"
 )
@@ -34,7 +35,7 @@ func partitionItems[T any](b []item[T], keep func(item[T]) bool) (kept, sent []i
 //
 // The returned slice is indexed by node ID with each node's own element.
 func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, error) {
-	d, err := validate(n, len(in))
+	d, err := topology.Validated(n, len(in))
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
@@ -42,6 +43,7 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
 	}
 	m := d.ClusterDim()
+	sch := dcomm.Compiled(d, dcomm.OpScatter)
 	rootClass := d.Class(root)
 	rootCluster := d.ClusterID(root)
 	rootLocal := d.LocalID(root)
@@ -55,7 +57,7 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
 		u := c.ID()
 		class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
-		cross := d.CrossNeighbor(u)
+		x := machine.Interpret(c, sch)
 
 		var bundle []item[T]
 		if u == root {
@@ -72,12 +74,12 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 			keep, send := partitionItems(bundle, func(it item[T]) bool {
 				return d.Class(destNode(it)) != rootClass
 			})
-			c.Send(cross, send)
+			x.Send(send)
 			bundle = keep
 		case d.CrossNeighbor(root):
-			bundle = c.Recv(cross)
+			bundle = x.Recv()
 		default:
-			c.Idle()
+			x.Idle()
 		}
 
 		// Phase 2: split by destination cluster inside root's cluster and
@@ -86,40 +88,41 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 		// member for a destination cluster x is the member with local x).
 		inRootCluster := class == rootClass && cluster == rootCluster
 		inMirrorCluster := class != rootClass && cluster == rootLocal
-		// splitRound is one level of the fan-out tree: dimensions ascend, and
-		// at level i the active subtree is the set of locals matching the
-		// seed on bits above i (the holders halve their bundles toward the
-		// bit-i partner). This is the exact reverse of Gather's fan-in.
-		splitRound := func(i, seed int, key func(item[T]) int) {
+		// splitRound is one level of the fan-out tree: the schedule ascends
+		// the dimensions, and at level i the active subtree is the set of
+		// locals matching the seed on bits above i (the holders halve their
+		// bundles toward the bit-i partner). This is the exact reverse of
+		// Gather's fan-in.
+		splitRound := func(seed int, key func(item[T]) int) {
+			i := x.Dim()
 			maskAbove := ^((1 << (i + 1)) - 1)
 			if local&maskAbove != seed&maskAbove {
-				c.Idle() // this subtree receives its share in a later round
+				x.Idle() // this subtree receives its share in a later round
 				return
 			}
-			partner := d.ClusterNeighbor(u, i)
 			if local&(1<<i) == seed&(1<<i) {
 				// Holder: keep items whose key matches this side of bit i.
 				keep, send := partitionItems(bundle, func(it item[T]) bool {
 					return key(it)&(1<<i) == local&(1<<i)
 				})
-				c.Send(partner, send)
+				x.Send(send)
 				bundle = keep
 			} else {
-				bundle = c.Recv(partner)
+				bundle = x.Recv()
 			}
 		}
 		clusterKey := func(it item[T]) int { return d.ClusterID(destNode(it)) }
 		if inRootCluster {
 			for i := 0; i < m; i++ {
-				splitRound(i, rootLocal, clusterKey)
+				splitRound(rootLocal, clusterKey)
 			}
 		} else if inMirrorCluster {
 			for i := 0; i < m; i++ {
-				splitRound(i, rootCluster, clusterKey)
+				splitRound(rootCluster, clusterKey)
 			}
 		} else {
 			for i := 0; i < m; i++ {
-				c.Idle()
+				x.Idle()
 			}
 		}
 
@@ -131,14 +134,14 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 		isSender := inRootCluster || inMirrorCluster
 		switch {
 		case isSender && isSeed:
-			bundle = c.SendRecv(cross, bundle, cross)
+			bundle = x.SendRecv(bundle)
 		case isSender:
-			c.Send(cross, bundle)
+			x.Send(bundle)
 			bundle = nil
 		case isSeed:
-			bundle = c.Recv(cross)
+			bundle = x.Recv()
 		default:
-			c.Idle()
+			x.Idle()
 		}
 
 		// Phase 4: every cluster splits its block from its seed down to
@@ -149,7 +152,7 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 		}
 		localKey := func(it item[T]) int { return d.LocalID(destNode(it)) }
 		for i := 0; i < m; i++ {
-			splitRound(i, seed, localKey)
+			splitRound(seed, localKey)
 		}
 
 		if len(bundle) != 1 || destNode(bundle[0]) != u {
@@ -169,11 +172,12 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 // of the received blocks — after which each node holds the entire opposite
 // class (n-1 steps) — and a final cross-edge swap of the class halves (1).
 func AllGather[T any](n int, in []T) ([][]T, machine.Stats, error) {
-	d, err := validate(n, len(in))
+	d, err := topology.Validated(n, len(in))
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
 	m := d.ClusterDim()
+	sch := dcomm.Compiled(d, dcomm.OpAllGather)
 	out := make([][]T, d.Nodes())
 	eng, err := machine.New[[]item[T]](d, machine.Config{})
 	if err != nil {
@@ -183,27 +187,28 @@ func AllGather[T any](n int, in []T) ([][]T, machine.Stats, error) {
 	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
 		u := c.ID()
 		idx := d.DataIndex(u)
+		x := machine.Interpret(c, sch)
 		bundle := []item[T]{{idx: idx, val: in[idx]}}
 
 		// Phase 1: all-gather the block within the cluster.
 		for i := 0; i < m; i++ {
-			got := c.Exchange(d.ClusterNeighbor(u, i), bundle)
+			got := x.Exchange(bundle)
 			bundle = mergeItems(bundle, got)
 			c.Ops(1)
 		}
 		// Phase 2: swap blocks over the cross-edge.
-		other := c.Exchange(d.CrossNeighbor(u), bundle)
+		other := x.Exchange(bundle)
 		// Phase 3: all-gather the received blocks — every node of the
 		// cluster ends with the complete opposite class.
 		for i := 0; i < m; i++ {
-			got := c.Exchange(d.ClusterNeighbor(u, i), other)
+			got := x.Exchange(other)
 			other = mergeItems(other, got)
 			c.Ops(1)
 		}
 		// Phase 4: swap class halves; the union is the whole sequence.
-		own := c.Exchange(d.CrossNeighbor(u), other)
+		own := x.Exchange(other)
 		all := mergeItems(own, other)
-		c.Ops(1)
+		x.LocalOps(1)
 
 		res := make([]T, d.Nodes())
 		for _, it := range all {

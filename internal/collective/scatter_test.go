@@ -4,12 +4,14 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"dualcube/internal/topology"
 )
 
 func TestScatterAllRoots(t *testing.T) {
 	for n := 1; n <= 3; n++ {
 		N := 1 << (2*n - 1)
-		d, _ := validate(n, N)
+		d, _ := topology.Validated(n, N)
 		in := make([]int, N)
 		for i := range in {
 			in[i] = i*100 + 1
@@ -34,7 +36,7 @@ func TestScatterAllRoots(t *testing.T) {
 func TestScatterLarger(t *testing.T) {
 	n := 5
 	N := 1 << (2*n - 1)
-	d, _ := validate(n, N)
+	d, _ := topology.Validated(n, N)
 	rng := rand.New(rand.NewSource(1))
 	in := make([]int, N)
 	for i := range in {
@@ -59,7 +61,7 @@ func TestScatterGatherRoundTrip(t *testing.T) {
 	n := 2
 	N := 1 << (2*n - 1)
 	in := []int{10, 20, 30, 40, 50, 60, 70, 80}
-	d, _ := validate(n, N)
+	d, _ := topology.Validated(n, N)
 	scattered, _, err := Scatter(n, 3, in)
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +144,7 @@ func TestScatterQuick(t *testing.T) {
 		n := int(nSeed)%3 + 1
 		N := 1 << (2*n - 1)
 		root := int(rootSeed) % N
-		d, _ := validate(n, N)
+		d, _ := topology.Validated(n, N)
 		rng := rand.New(rand.NewSource(seed))
 		in := make([]int, N)
 		for i := range in {

@@ -9,19 +9,20 @@ import (
 	"dualcube/internal/topology"
 )
 
-// Fault-tolerant variants of the elementary exchanges. The fault model is the
+// Fault tolerance for the recursive technique. The fault model is the
 // post-diagnosis one of the connectivity literature (Zhao/Hao/Cheng,
 // PAPERS.md): every node knows the full set of permanent faults, so all nodes
 // derive the identical detour schedule offline and no runtime agreement is
 // needed. Because the link connectivity of D_n is n, any f <= n-1 link faults
 // leave the network connected and every broken pair has an alive repair path.
 //
-// The schedule is: run the plain exchange for every pair whose links survive
-// (broken pairs idle in those cycles), then repair the broken pairs one at a
-// time in canonical order — each repair relays the two values along the
-// pair's alive path, forward then backward, one hop per cycle, with every
-// node not on the path idling. With a clean view the planners return nil and
-// the *FT functions delegate to the plain exchanges, byte-identical.
+// The cluster technique's fault tolerance no longer lives here: it is an IR
+// rewrite (RewriteFT in sched.go) annotating the compiled schedules that the
+// machine interpreter executes. What remains is the recursive-dimension
+// exchange with its 3-cycle relay pattern — a primitive the schedule IR does
+// not model — planned by PlanDimExchangeFT and executed by DimExchangeFT.
+// The relay mechanics themselves (serial per-pair repairs along alive paths)
+// are machine.RunDetours/RelayOneWay, shared with the schedule interpreter.
 
 // Detour is one broken pair's repair assignment: the pair and the alive relay
 // path joining its endpoints (Path[0] = Pair.U, Path[len-1] = Pair.V).
@@ -31,10 +32,10 @@ type Detour struct {
 	back []int // Path reversed, precomputed so node programs stay alloc-free
 }
 
-// FTPlan is the global detour schedule for one exchange pattern (a cluster
-// dimension, the cross matching, or a recursive dimension) under one fault
-// view. It is computed once by a Plan* function and shared read-only by every
-// node program, so the per-cycle work inside the machine stays O(1) per node.
+// FTPlan is the global detour schedule for one recursive-dimension exchange
+// pattern under one fault view. It is computed once by PlanDimExchangeFT and
+// shared read-only by every node program, so the per-cycle work inside the
+// machine stays O(1) per node.
 type FTPlan struct {
 	broken   []bool // per node: this node's pair is broken and repaired later
 	relayOff []bool // per node (dim exchange, j > 0): direct pair alive but its
@@ -94,46 +95,6 @@ func (p *FTPlan) finish() {
 	}
 }
 
-// PlanClusterExchangeFT computes the detour schedule for the dimension-i
-// intra-cluster exchange under view. A clean view yields a nil plan (use the
-// plain exchange); an error means the faults disconnect a pair, which cannot
-// happen with f <= n-1 link faults.
-func PlanClusterExchangeFT(d *topology.DualCube, view *fault.View, i int) (*FTPlan, error) {
-	if view.Clean() {
-		return nil, nil
-	}
-	p := newFTPlan(d.Nodes())
-	for u := 0; u < d.Nodes(); u++ {
-		w := d.ClusterNeighbor(u, i)
-		if u < w && view.LinkDown(u, w) {
-			if err := p.addPair(view, u, w); err != nil {
-				return nil, err
-			}
-		}
-	}
-	p.finish()
-	return p, nil
-}
-
-// PlanCrossExchangeFT computes the detour schedule for the cross-edge
-// matching under view.
-func PlanCrossExchangeFT(d *topology.DualCube, view *fault.View) (*FTPlan, error) {
-	if view.Clean() {
-		return nil, nil
-	}
-	p := newFTPlan(d.Nodes())
-	for u := 0; u < d.Nodes(); u++ {
-		w := d.CrossNeighbor(u)
-		if u < w && view.LinkDown(u, w) {
-			if err := p.addPair(view, u, w); err != nil {
-				return nil, err
-			}
-		}
-	}
-	p.finish()
-	return p, nil
-}
-
 // PlanDimExchangeFT computes the detour schedule for the parallel
 // recursive-dimension-j exchange under view. For j > 0 the plain 3-cycle
 // schedule (see DimExchange) makes a mismatched pair {v, v_j} depend on three
@@ -150,7 +111,16 @@ func PlanDimExchangeFT(d *topology.DualCube, view *fault.View, j int) (*FTPlan, 
 		return nil, nil
 	}
 	if j == 0 {
-		return PlanCrossExchangeFT(d, view)
+		// Dimension 0 is the cross matching: plan it like a schedule step.
+		broken, dets, err := planMatching(d, view, d.CrossNeighbor)
+		if err != nil {
+			return nil, err
+		}
+		p := &FTPlan{broken: broken, relayOff: make([]bool, d.Nodes()), detours: dets}
+		for _, dt := range dets {
+			p.repairCycles += 2 * (len(dt.Path) - 1)
+		}
+		return p, nil
 	}
 	p := newFTPlan(d.Nodes())
 	for u := 0; u < d.Nodes(); u++ {
@@ -182,24 +152,6 @@ func PlanDimExchangeFT(d *topology.DualCube, view *fault.View, j int) (*FTPlan, 
 	return p, nil
 }
 
-// ClusterExchangeFT is ClusterExchange surviving the faults planned in p
-// (from PlanClusterExchangeFT with the same d and i). A nil plan is the
-// fault-free fast path, byte-identical to ClusterExchange.
-func ClusterExchangeFT[T any](c *machine.Ctx[T], d *topology.DualCube, i int, v T, p *FTPlan) T {
-	if p == nil {
-		return ClusterExchange(c, d, i, v)
-	}
-	return runMatching(c, p, d.ClusterNeighbor(c.ID(), i), v)
-}
-
-// CrossExchangeFT is CrossExchange surviving the faults planned in p.
-func CrossExchangeFT[T any](c *machine.Ctx[T], d *topology.DualCube, v T, p *FTPlan) T {
-	if p == nil {
-		return CrossExchange(c, d, v)
-	}
-	return runMatching(c, p, d.CrossNeighbor(c.ID()), v)
-}
-
 // DimExchangeFT is DimExchange surviving the faults planned in p (from
 // PlanDimExchangeFT with the same d and j).
 func DimExchangeFT[T any](c *machine.Ctx[T], d *topology.DualCube, j int, v T, p *FTPlan) T {
@@ -209,7 +161,16 @@ func DimExchangeFT[T any](c *machine.Ctx[T], d *topology.DualCube, j int, v T, p
 	u := c.ID()
 	cross := d.CrossNeighbor(u)
 	if j == 0 {
-		return runMatching(c, p, cross, v)
+		var r T
+		if p.broken[u] {
+			c.Idle()
+		} else {
+			r = c.Exchange(cross, v)
+		}
+		if got, ok := runRepairs(c, p, v); ok {
+			r = got
+		}
+		return r
 	}
 	var own T
 	r := d.ToRecursive(u)
@@ -241,65 +202,22 @@ func DimExchangeFT[T any](c *machine.Ctx[T], d *topology.DualCube, j int, v T, p
 	return own
 }
 
-// runMatching executes one cycle of direct exchange for the surviving pairs
-// of a perfect matching (broken pairs idle), then the serial repairs.
-func runMatching[T any](c *machine.Ctx[T], p *FTPlan, partner int, v T) T {
-	var r T
-	if p.broken[c.ID()] {
-		c.Idle()
-	} else {
-		r = c.Exchange(partner, v)
-	}
-	if got, ok := runRepairs(c, p, v); ok {
-		r = got
-	}
-	return r
-}
-
-// runRepairs walks the detour schedule: for each broken pair, relay the U
-// endpoint's value to V and then V's value back to U along the alive path.
-// Every node executes the same cycle count; ok reports whether this node is
-// an endpoint of some pair (at most one — matchings are disjoint) and
-// received its partner's value.
+// runRepairs walks the plan's detour schedule through the machine's relay
+// interpreter: for each broken pair, the U endpoint's value travels to V and
+// then V's to U along the alive path. Every node executes the same cycle
+// count; ok reports whether this node is an endpoint of some pair (at most
+// one — matchings are disjoint) and received its partner's value.
 func runRepairs[T any](c *machine.Ctx[T], p *FTPlan, v T) (T, bool) {
 	var out T
 	var have bool
 	for i := range p.detours {
 		dt := &p.detours[i]
-		if got, ok := relayOneWay(c, dt.Path, v); ok {
+		if got, ok := machine.RelayOneWay(c, dt.Path, v); ok {
 			out, have = got, true
 		}
-		if got, ok := relayOneWay(c, dt.back, v); ok {
+		if got, ok := machine.RelayOneWay(c, dt.back, v); ok {
 			out, have = got, true
 		}
 	}
 	return out, have
-}
-
-// relayOneWay moves the source's value along path, one hop per cycle
-// (len(path)-1 cycles). Nodes off the path idle every cycle; relay nodes
-// receive on one cycle and forward on the next; ok reports whether this node
-// is the destination.
-func relayOneWay[T any](c *machine.Ctx[T], path []int, v T) (T, bool) {
-	u := c.ID()
-	pos := -1
-	for i, x := range path {
-		if x == u {
-			pos = i
-			break
-		}
-	}
-	last := len(path) - 1
-	cur := v // the source's payload; relays overwrite it on receive
-	for hop := 0; hop < last; hop++ {
-		switch pos {
-		case hop:
-			c.Send(path[hop+1], cur)
-		case hop + 1:
-			cur = c.Recv(path[hop])
-		default:
-			c.Idle()
-		}
-	}
-	return cur, pos == last
 }

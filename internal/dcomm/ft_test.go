@@ -98,57 +98,82 @@ func TestDimExchangeFTSingleDimLinkFault(t *testing.T) {
 	}
 }
 
-// TestClusterAndCrossExchangeFT fails one cluster link and one cross link and
-// checks both FT matchings deliver every partner value, with the repair cost
-// visible in the cycle count.
-func TestClusterAndCrossExchangeFT(t *testing.T) {
+// TestRewriteFTAnnotations fails one cluster link and one cross link and
+// checks the fault rewrite annotates exactly the severed exchange patterns,
+// that the interpreted schedule delivers every partner value, and that the
+// repair cost is visible in the cycle count.
+func TestRewriteFTAnnotations(t *testing.T) {
 	d := topology.MustDualCube(3)
+	m := d.ClusterDim()
 	plan := &fault.Plan{Links: []fault.Link{
 		{U: 0, V: d.ClusterNeighbor(0, 1)},
 		{U: 5, V: d.CrossNeighbor(5)},
 	}}
-	view := fault.NewView(d, plan)
-	cross, err := PlanCrossExchangeFT(d, view)
+	sch, err := RewriteFT(Compiled(d, OpPrefix), fault.NewView(d, plan))
 	if err != nil {
 		t.Fatal(err)
 	}
-	clus := make([]*FTPlan, d.ClusterDim())
-	for i := range clus {
-		if clus[i], err = PlanClusterExchangeFT(d, view, i); err != nil {
-			t.Fatal(err)
+	for i := range sch.Steps {
+		s := &sch.Steps[i]
+		if s.Kind == machine.StepLocalCombine {
+			continue
+		}
+		want := 0
+		if s.Pattern == 1 || s.Pattern == m {
+			want = 1
+		}
+		if len(s.Detours) != want {
+			t.Errorf("step %d (pattern %d): %d detours, want %d", i, s.Pattern, len(s.Detours), want)
 		}
 	}
-	if len(clus[0].Detours()) != 0 || len(clus[1].Detours()) != 1 || len(cross.Detours()) != 1 {
-		t.Fatalf("detour counts: dim0=%d dim1=%d cross=%d, want 0/1/1",
-			len(clus[0].Detours()), len(clus[1].Detours()), len(cross.Detours()))
+	if dets := PatternDetours(sch); len(dets) != 2 {
+		t.Fatalf("PatternDetours: %d unique detours, want 2", len(dets))
 	}
 	got := make([][]int, d.Nodes())
 	st := runFT[int](t, d, plan, machine.SchedWorkerPool, func(c *machine.Ctx[int]) {
 		u := c.ID()
-		res := make([]int, 0, d.ClusterDim()+1)
-		for i := 0; i < d.ClusterDim(); i++ {
-			res = append(res, ClusterExchangeFT(c, d, i, u, clus[i]))
+		x := machine.Interpret(c, sch)
+		var res []int
+		for !x.Done() {
+			if x.Kind() == machine.StepLocalCombine {
+				x.LocalOps(0)
+				continue
+			}
+			want := x.Partner()
+			if r := x.Exchange(u); r != want {
+				res = append(res, -1)
+			} else {
+				res = append(res, r)
+			}
 		}
-		res = append(res, CrossExchangeFT(c, d, u, cross))
 		got[u] = res
 	})
 	for u := 0; u < d.Nodes(); u++ {
-		for i := 0; i < d.ClusterDim(); i++ {
-			if got[u][i] != d.ClusterNeighbor(u, i) {
-				t.Fatalf("node %d dim %d: got %d, want %d", u, i, got[u][i], d.ClusterNeighbor(u, i))
+		for i, r := range got[u] {
+			if r == -1 {
+				t.Fatalf("node %d comm step %d: wrong partner value", u, i)
 			}
 		}
-		if got[u][d.ClusterDim()] != d.CrossNeighbor(u) {
-			t.Fatalf("node %d cross: got %d, want %d", u, got[u][d.ClusterDim()], d.CrossNeighbor(u))
-		}
 	}
-	wantCycles := d.ClusterDim() + 1
-	for _, p := range clus {
-		wantCycles += p.RepairCycles()
+	if want := Compiled(d, OpPrefix).CommSteps() + sch.RepairCycles; st.Cycles != want {
+		t.Errorf("cycles = %d, want %d", st.Cycles, want)
 	}
-	wantCycles += cross.RepairCycles()
-	if st.Cycles != wantCycles {
-		t.Errorf("cycles = %d, want %d", st.Cycles, wantCycles)
+}
+
+// TestRewriteFTClean checks the clean-view fast path returns the compiled
+// schedule itself, unannotated and uncopied.
+func TestRewriteFTClean(t *testing.T) {
+	d := topology.MustDualCube(3)
+	base := Compiled(d, OpPrefix)
+	sch, err := RewriteFT(base, fault.NewView(d, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch != base {
+		t.Fatal("clean view did not return the compiled schedule itself")
+	}
+	if sch.RepairCycles != 0 {
+		t.Fatalf("fault-free schedule has RepairCycles = %d", sch.RepairCycles)
 	}
 }
 

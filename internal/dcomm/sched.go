@@ -1,0 +1,267 @@
+package dcomm
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"dualcube/internal/fault"
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// Op names one cluster-technique operation whose communication skeleton is
+// compiled to a machine.Schedule. The recursive-technique algorithms
+// (D_sort's DimExchange relays) are not schedule-compiled: their 3-cycle
+// relay pattern is a different primitive, kept in DimExchange/DimExchangeFT.
+type Op uint8
+
+const (
+	// OpPrefix is Algorithm 2: ascending cluster sweep, cross hop, ascending
+	// sweep of the received totals, cross hop, class-1 local fold.
+	OpPrefix Op = iota
+	// OpAllReduce is the all-reduce: two ascending sweeps bracketed by cross
+	// hops, plus the final local class-total combine.
+	OpAllReduce
+	// OpBroadcast is the binomial flood: ascending sweeps and cross hops,
+	// no local round.
+	OpBroadcast
+	// OpGather collects toward a root: descending (fan-in) sweeps and cross
+	// hops.
+	OpGather
+	// OpScatter is Gather's mirror: cross hop first, then ascending
+	// (fan-out) sweeps.
+	OpScatter
+	// OpAllGather doubles bundles along ascending sweeps and cross hops,
+	// plus a final local merge round.
+	OpAllGather
+	// OpAllToAll is the dimension-ordered personalized exchange: ascending
+	// routing sweeps and cross hops.
+	OpAllToAll
+	opCount
+	// OpEnd is one past the last operation, for iterating all schedules
+	// (for op := OpPrefix; op < OpEnd; op++).
+	OpEnd = opCount
+)
+
+// String returns the operation name used in schedule labels.
+func (op Op) String() string {
+	switch op {
+	case OpPrefix:
+		return "prefix"
+	case OpAllReduce:
+		return "allreduce"
+	case OpBroadcast:
+		return "broadcast"
+	case OpGather:
+		return "gather"
+	case OpScatter:
+		return "scatter"
+	case OpAllGather:
+		return "allgather"
+	case OpAllToAll:
+		return "alltoall"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// schedCache holds the compiled fault-free schedule per (order, operation).
+// Schedules are immutable and tiny (one Step per communication round), so
+// they are built at most once per process and shared by every run;
+// first-store-wins keeps the pointer stable under concurrent warm-up.
+var schedCache [topology.MaxDualCubeOrder + 1][opCount]atomic.Pointer[machine.Schedule]
+
+// Compiled returns the cached fault-free schedule of op on d, building it on
+// first use. The returned Schedule is shared and must not be mutated; use
+// RewriteFT to derive a fault-annotated variant.
+func Compiled(d *topology.DualCube, op Op) *machine.Schedule {
+	slot := &schedCache[d.Order()][op]
+	if sch := slot.Load(); sch != nil {
+		return sch
+	}
+	sch := buildSchedule(d, op)
+	if slot.CompareAndSwap(nil, sch) {
+		return sch
+	}
+	return slot.Load()
+}
+
+// buildSchedule lays out the cluster-technique skeleton of op on d. The
+// pattern id of a step is its cluster dimension, or ClusterDim(d) for the
+// cross matching — steps with equal pattern use the identical matching.
+func buildSchedule(d *topology.DualCube, op Op) *machine.Schedule {
+	m := d.ClusterDim()
+	sch := &machine.Schedule{Name: fmt.Sprintf("%s/%s", op, d.Name()), D: d}
+	cluster := func(dim int) {
+		sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepClusterDim, Dim: dim, Pattern: dim})
+	}
+	ascend := func() {
+		for i := 0; i < m; i++ {
+			cluster(i)
+		}
+	}
+	descend := func() {
+		for i := m - 1; i >= 0; i-- {
+			cluster(i)
+		}
+	}
+	cross := func() {
+		sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepCrossHop, Dim: -1, Pattern: m})
+	}
+	local := func() {
+		sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepLocalCombine, Dim: -1, Pattern: -1})
+	}
+
+	switch op {
+	case OpPrefix, OpAllReduce, OpAllGather:
+		ascend()
+		cross()
+		ascend()
+		cross()
+		local()
+	case OpBroadcast, OpAllToAll:
+		ascend()
+		cross()
+		ascend()
+		cross()
+	case OpGather:
+		descend()
+		cross()
+		descend()
+		cross()
+	case OpScatter:
+		cross()
+		ascend()
+		cross()
+		ascend()
+	default:
+		panic(fmt.Sprintf("dcomm: no schedule builder for %s", op))
+	}
+	sch.Finalize()
+	return sch
+}
+
+// RewriteFT derives the degraded-mode variant of a compiled schedule under a
+// fault view: every exchange step whose matching is severed by the view is
+// annotated with the broken-pair mask and the canonical detour relays, which
+// the machine interpreter appends after the matched cycle. Steps sharing an
+// exchange pattern share the annotation slices, so the repair schedule of a
+// pattern is planned exactly once. A clean view returns sch itself.
+//
+// An error means the faults disconnect a severed pair entirely — impossible
+// for f <= n-1 link faults (the link connectivity of D_n is n).
+func RewriteFT(sch *machine.Schedule, view *fault.View) (*machine.Schedule, error) {
+	if view.Clean() {
+		return sch, nil
+	}
+	d := sch.D
+	m := d.ClusterDim()
+
+	// One annotation per exchange pattern, planned lazily.
+	type annotation struct {
+		broken  []bool
+		detours []machine.Detour
+		cycles  int
+	}
+	plans := make(map[int]*annotation, m+1)
+	planFor := func(pattern int) (*annotation, error) {
+		if a, ok := plans[pattern]; ok {
+			return a, nil
+		}
+		partner := func(u int) int { return d.CrossNeighbor(u) }
+		if pattern < m {
+			partner = func(u int) int { return d.ClusterNeighbor(u, pattern) }
+		}
+		broken, dets, err := planMatching(d, view, partner)
+		if err != nil {
+			return nil, err
+		}
+		a := &annotation{broken: broken}
+		for _, dt := range dets {
+			a.detours = append(a.detours, machine.Detour{Path: dt.Path, Back: dt.back})
+			a.cycles += 2 * (len(dt.Path) - 1)
+		}
+		plans[pattern] = a
+		return a, nil
+	}
+
+	out := &machine.Schedule{Name: sch.Name + "+ft", D: d}
+	out.Steps = append([]machine.Step(nil), sch.Steps...)
+	for i := range out.Steps {
+		s := &out.Steps[i]
+		if s.Kind == machine.StepLocalCombine {
+			continue
+		}
+		a, err := planFor(s.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		if len(a.detours) > 0 || anyBroken(a.broken) {
+			s.Broken = a.broken
+			s.Detours = a.detours
+			out.RepairCycles += a.cycles
+		}
+	}
+	return out, nil
+}
+
+func anyBroken(broken []bool) bool {
+	for _, b := range broken {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// planMatching computes the broken-pair mask and the canonical detour list
+// of one perfect matching under view: pairs are visited in ascending lower
+// endpoint order and repaired over the deterministic shortest alive path all
+// nodes agree on, sorted by normalized endpoints — the serial repair order
+// every node executes identically.
+func planMatching(d *topology.DualCube, view *fault.View, partner func(u int) int) ([]bool, []Detour, error) {
+	broken := make([]bool, d.Nodes())
+	var dets []Detour
+	for u := 0; u < d.Nodes(); u++ {
+		w := partner(u)
+		if u < w && view.LinkDown(u, w) {
+			pair := fault.Link{U: u, V: w}.Normalize()
+			path := view.Path(pair.U, pair.V)
+			if path == nil {
+				return nil, nil, fmt.Errorf("dcomm: faults disconnect %d and %d, no repair path exists", pair.U, pair.V)
+			}
+			broken[u], broken[w] = true, true
+			back := make([]int, len(path))
+			for i, x := range path {
+				back[len(path)-1-i] = x
+			}
+			dets = append(dets, Detour{Pair: pair, Path: path, back: back})
+		}
+	}
+	sort.Slice(dets, func(i, j int) bool {
+		a, b := dets[i].Pair, dets[j].Pair
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	return broken, dets, nil
+}
+
+// PatternDetours enumerates a fault-rewritten schedule's repair relays once
+// per exchange pattern (steps reusing a pattern share detours, so iterating
+// steps directly would double-count). The fault-free schedule yields none.
+func PatternDetours(sch *machine.Schedule) []machine.Detour {
+	seen := make(map[int]bool)
+	var out []machine.Detour
+	for i := range sch.Steps {
+		s := &sch.Steps[i]
+		if s.Kind == machine.StepLocalCombine || seen[s.Pattern] {
+			continue
+		}
+		seen[s.Pattern] = true
+		out = append(out, s.Detours...)
+	}
+	return out
+}

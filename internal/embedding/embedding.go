@@ -131,7 +131,7 @@ func lowestBit(x int) int {
 // every within-cluster endpoint pair differ in exactly one bit — odd
 // parity difference — so the required hypercube Hamiltonian paths exist.
 func DualCubeHamiltonianCycle(n int) ([]topology.NodeID, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Shared(n)
 	if err != nil {
 		return nil, err
 	}

@@ -42,12 +42,9 @@ func dims(q int, descend bool) []int {
 // run executes a normal algorithm on D_n. init and the result are indexed
 // by recursive ID.
 func run[T any](n int, init []T, step StepFunc[T], descend bool) ([]T, machine.Stats, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Validated(n, len(init))
 	if err != nil {
 		return nil, machine.Stats{}, err
-	}
-	if len(init) != d.Nodes() {
-		return nil, machine.Stats{}, fmt.Errorf("emulate: %d values for %d nodes of %s", len(init), d.Nodes(), d.Name())
 	}
 	order := dims(d.RecDims(), descend)
 	out := make([]T, len(init))

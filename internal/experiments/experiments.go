@@ -60,7 +60,7 @@ func E2Topology(maxN, bfsMax int) (string, error) {
 	t := newTable("E2 — dual-cube structural claims (Section 2)",
 		"n", "nodes 2^(2n-1)", "degree", "edges", "diameter formula", "diameter BFS", "formula = BFS")
 	for n := 1; n <= maxN; n++ {
-		d, err := topology.NewDualCube(n)
+		d, err := topology.Shared(n)
 		if err != nil {
 			return "", fmt.Errorf("E2 n=%d: %w", n, err)
 		}

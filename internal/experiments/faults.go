@@ -36,7 +36,7 @@ type FaultSweepPoint struct {
 func FaultSweep(minN, maxN int, seed int64) ([]FaultSweepPoint, error) {
 	var points []FaultSweepPoint
 	for n := minN; n <= maxN; n++ {
-		d, err := topology.NewDualCube(n)
+		d, err := topology.Shared(n)
 		if err != nil {
 			return nil, fmt.Errorf("E18 n=%d: %w", n, err)
 		}
@@ -57,28 +57,17 @@ func FaultSweep(minN, maxN int, seed int64) ([]FaultSweepPoint, error) {
 					break
 				}
 			}
-			view := fault.NewView(d, plan)
-			detours, longest := 0, 0
-			countPlan := func(p *dcomm.FTPlan) {
-				for _, dt := range p.Detours() {
-					detours++
-					if hops := len(dt.Path) - 1; hops > longest {
-						longest = hops
-					}
-				}
-			}
-			clus := make([]*dcomm.FTPlan, d.ClusterDim())
-			for i := range clus {
-				if clus[i], err = dcomm.PlanClusterExchangeFT(d, view, i); err != nil {
-					return nil, fmt.Errorf("E18 n=%d f=%d: %w", n, f, err)
-				}
-				countPlan(clus[i])
-			}
-			cross, err := dcomm.PlanCrossExchangeFT(d, view)
+			sch, err := dcomm.RewriteFT(dcomm.Compiled(d, dcomm.OpPrefix), fault.NewView(d, plan))
 			if err != nil {
 				return nil, fmt.Errorf("E18 n=%d f=%d: %w", n, f, err)
 			}
-			countPlan(cross)
+			detours, longest := 0, 0
+			for _, dt := range dcomm.PatternDetours(sch) {
+				detours++
+				if hops := len(dt.Path) - 1; hops > longest {
+					longest = hops
+				}
+			}
 			points = append(points, FaultSweepPoint{
 				N:             n,
 				Nodes:         d.Nodes(),
@@ -87,7 +76,7 @@ func FaultSweep(minN, maxN int, seed int64) ([]FaultSweepPoint, error) {
 				CommMeasured:  st.Cycles,
 				CommFaultFree: prefix.MeasuredCommSteps(n),
 				CommBound:     prefix.PaperCommBound(n),
-				Overhead:      prefix.DegradedCommOverhead(clus, cross),
+				Overhead:      prefix.DegradedCommOverhead(sch),
 				Detours:       detours,
 				LongestDetour: longest,
 				Messages:      st.Messages,
@@ -149,7 +138,7 @@ func E19FaultTolerance(maxN, trials int, seed int64) (string, error) {
 		"n", "nodes", "degree", "link connectivity", "tolerates",
 		fmt.Sprintf("random f=n-1 connected (%d trials)", trials), "f=n node cut disconnects")
 	for n := 1; n <= maxN; n++ {
-		d, err := topology.NewDualCube(n)
+		d, err := topology.Shared(n)
 		if err != nil {
 			return "", fmt.Errorf("E19 n=%d: %w", n, err)
 		}

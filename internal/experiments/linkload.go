@@ -21,7 +21,7 @@ func E14LinkLoads(maxN int) (string, error) {
 		"algorithm", "n", "messages", "on cross-edges", "on cluster edges",
 		"cross share", "max msgs on one link")
 	for n := 2; n <= maxN; n++ {
-		d, err := topology.NewDualCube(n)
+		d, err := topology.Shared(n)
 		if err != nil {
 			return "", fmt.Errorf("E14 n=%d: %w", n, err)
 		}

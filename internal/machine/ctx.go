@@ -132,10 +132,18 @@ func (c *Ctx[T]) TryExchange(partner int, v T) (T, bool) {
 }
 
 // step is the single clock-cycle primitive: at most one send, at most two
-// receives, one clock boundary. All other methods delegate here.
+// receives, one clock boundary. All other methods delegate here. The
+// Exchange shape (send and first receive on the same link) resolves the
+// neighbor's CSR index once and reuses it on both sides of the boundary.
 func (c *Ctx[T]) step(sendTo int, v T, recv1, recv2 int) (T, T) {
+	ex := -1
 	if sendTo != NoNode {
-		c.send(sendTo, v, false)
+		if sendTo == recv1 {
+			ex = c.linkIdx(sendTo)
+			c.sendAt(ex, sendTo, v, false)
+		} else {
+			c.send(sendTo, v, false)
+		}
 	}
 	if recv1 != NoNode && recv1 == recv2 {
 		c.failf("node %d: duplicate receive from %d in one cycle", c.id, recv1)
@@ -143,7 +151,11 @@ func (c *Ctx[T]) step(sendTo int, v T, recv1, recv2 int) (T, T) {
 	c.boundary()
 	var r1, r2 T
 	if recv1 != NoNode {
-		r1 = c.recvNow(recv1)
+		if ex >= 0 {
+			r1, _ = c.recvAt(ex, recv1, false)
+		} else {
+			r1 = c.recvNow(recv1)
+		}
 	}
 	if recv2 != NoNode {
 		r2 = c.recvNow(recv2)
@@ -151,16 +163,69 @@ func (c *Ctx[T]) step(sendTo int, v T, recv1, recv2 int) (T, T) {
 	return r1, r2
 }
 
+// exchangeAt is Exchange with the partner's CSR index already resolved (the
+// schedule interpreter's table-accelerated path): same send, boundary and
+// receive as step, with no neighbor search. With no fault spec armed, plain
+// (non-atomic) links and no send hook, the whole matched exchange is fused
+// into one body so the per-side fault and atomics branches of sendAt/recvAt
+// are checked once instead of eight times; counters, clock and failure
+// messages are identical to the general path.
+func (c *Ctx[T]) exchangeAt(i, partner int, v T) T {
+	e := c.engine
+	if e.fx == nil && !e.atomicLinks && e.onSend == nil {
+		s := int(e.offs[c.id]) + i
+		tail, head := e.tails[s], e.heads[s]
+		if tail-head >= e.ringCap {
+			c.failf("node %d: link %d->%d buffer overflow (capacity %d)", c.id, c.id, partner, e.cfg.LinkCapacity)
+		}
+		e.buf[uint32(s)*e.ringSize+tail&e.ringMask] = v
+		e.tails[s] = tail + 1
+		c.msgs++
+		if c.worker != nil {
+			c.worker.sent = true
+		} else {
+			e.anySent.Store(true)
+		}
+		c.boundary()
+		rs := int(e.inSlot[s])
+		rhead, rtail := e.heads[rs], e.tails[rs]
+		if rtail == rhead {
+			c.failf("node %d: receive from %d on an empty link", c.id, partner)
+		}
+		idx := uint32(rs)*e.ringSize + rhead&e.ringMask
+		r := e.buf[idx]
+		var zero T
+		e.buf[idx] = zero
+		e.heads[rs] = rhead + 1
+		return r
+	}
+	c.sendAt(i, partner, v, false)
+	c.boundary()
+	r, _ := c.recvAt(i, partner, false)
+	return r
+}
+
+// linkIdx resolves neighbor peer to its position in this node's CSR row,
+// aborting the run if peer is not adjacent.
+func (c *Ctx[T]) linkIdx(peer int) int {
+	i := c.engine.idxOf(c.id, peer)
+	if i < 0 {
+		c.failf("node %d: send to %d, which is not a neighbor", c.id, peer)
+	}
+	return i
+}
+
 // send posts v on the directed link to neighbor `to`. try selects the
 // fault-tolerant contract: a send on a permanently failed link reports false
 // instead of aborting the run. With no fault spec armed the fault block is a
 // single nil check.
 func (c *Ctx[T]) send(to int, v T, try bool) bool {
+	return c.sendAt(c.linkIdx(to), to, v, try)
+}
+
+// sendAt is send with the neighbor's CSR index already resolved.
+func (c *Ctx[T]) sendAt(i, to int, v T, try bool) bool {
 	e := c.engine
-	i := e.idxOf(c.id, to)
-	if i < 0 {
-		c.failf("node %d: send to %d, which is not a neighbor", c.id, to)
-	}
 	s := int(e.offs[c.id]) + i
 	delay := 0
 	if fx := e.fx; fx != nil {
@@ -261,6 +326,12 @@ func (c *Ctx[T]) recvFrom(from int, try bool) (T, bool) {
 	if i < 0 {
 		c.failf("node %d: receive from %d, which is not a neighbor", c.id, from)
 	}
+	return c.recvAt(i, from, try)
+}
+
+// recvAt is recvFrom with the neighbor's CSR index already resolved.
+func (c *Ctx[T]) recvAt(i, from int, try bool) (T, bool) {
+	e := c.engine
 	s := int(e.inSlot[int(e.offs[c.id])+i])
 	head := e.heads[s] // consumer-owned cursor: plain read is always safe
 	var tail uint32

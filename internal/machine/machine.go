@@ -491,6 +491,33 @@ func (e *Engine[T]) Release() {
 	}
 }
 
+// pooled is the non-generic view of a free-listed engine, so the pool can
+// tear down recycled engines without knowing their element type.
+type pooled interface{ teardown() }
+
+func (e *Engine[T]) teardown() { teardownRunners(e.runners) }
+
+// ResetEnginePool discards every recycled engine, unwinding their parked
+// node coroutines. Steady-state callers never need this — the pool is the
+// point — but cold-start measurements (the E20 warm-versus-cold sweep and
+// the cold benchmark variants) call it to force full engine construction on
+// the next New. Engines currently checked out are unaffected: the pool only
+// ever holds released, idle engines.
+func ResetEnginePool() {
+	freeEngines.Range(func(k, v any) bool {
+		st := v.(*engineStack)
+		st.mu.Lock()
+		engines := st.s
+		st.s = nil
+		st.mu.Unlock()
+		for _, e := range engines {
+			e.(pooled).teardown()
+		}
+		freeEngines.Delete(k)
+		return true
+	})
+}
+
 // teardownRunners unwinds every parked node coroutine. Runs either
 // explicitly (free-list eviction) or as the finalizer of a dropped Engine;
 // iter.Pull's stop is idempotent, so the two cannot conflict.

@@ -99,17 +99,30 @@ func (s *engineState[T]) workerMain(wi int, rs []nodeRunner) {
 			rs[u] = nodeRunner{next: next, stop: stop}
 		}
 	}
-	live := append(make([]nodeRunner, 0, w.hi-w.lo), rs[w.lo:w.hi]...)
+	live := make([]func() (bool, bool), 0, w.hi-w.lo)
+	for u := w.lo; u < w.hi; u++ {
+		live = append(live, rs[u].next)
+	}
 	for {
-		k := 0
+		// Compaction of finished runners starts lazily: under the SPMD
+		// discipline every node of the shard finishes in the same pass, so
+		// the common pass moves nothing and the loop body is one resume per
+		// live node.
+		k := -1
 		for i := range live {
-			if done, _ := live[i].next(); !done {
+			if done, _ := live[i](); done {
+				if k < 0 {
+					k = i
+				}
+			} else if k >= 0 {
 				live[k] = live[i]
 				k++
 			}
 		}
-		live = live[:k]
-		w.active = k
+		if k >= 0 {
+			live = live[:k]
+		}
+		w.active = len(live)
 		s.wbar.wait(&w.parity)
 		if s.state != roundRun {
 			break
@@ -117,7 +130,7 @@ func (s *engineState[T]) workerMain(wi int, rs []nodeRunner) {
 	}
 	if s.state == roundAbort {
 		for i := range live {
-			live[i].next() // resume into the abort check; parks as done
+			live[i]() // resume into the abort check; parks as done
 		}
 	}
 }

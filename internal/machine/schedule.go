@@ -1,0 +1,366 @@
+package machine
+
+import (
+	"fmt"
+
+	"dualcube/internal/topology"
+)
+
+// This file is the compiled-schedule IR of the cluster technique and its
+// interpreter. The paper's Section 3 skeleton — work inside clusters (n-1
+// steps), hop the cross-edges (1 step), work inside the opposite-class
+// clusters (n-1 steps), hop back (1 step) — recurs near-verbatim in prefix
+// computation and in every collective. Instead of each algorithm re-deriving
+// partners and fault detours inline, the skeleton is compiled once per
+// (order, operation) into a Schedule: a flat list of steps, each naming an
+// exchange pattern (a cluster dimension or the cross-edge matching) plus
+// optional fault annotations. Node programs walk the schedule through an
+// Exec cursor, which resolves partners, executes the communication cycle,
+// and runs the detour repairs of a fault-rewritten schedule — one
+// interpreter for the fault-free and the degraded case alike.
+
+// StepKind classifies one step of a compiled schedule.
+type StepKind uint8
+
+const (
+	// StepClusterDim is a perfect-matching exchange along one cluster
+	// dimension: every node pairs with ClusterNeighbor(u, Dim). One cycle,
+	// plus repair relays when the step carries fault annotations.
+	StepClusterDim StepKind = iota
+	// StepCrossHop is the cross-edge matching: every node pairs with
+	// CrossNeighbor(u). One cycle, plus repairs.
+	StepCrossHop
+	// StepLocalCombine is a computation-only round: no clock cycle, only
+	// Ops accounting (the amount is program-dependent — e.g. the class-1
+	// fold of D_prefix's step 5 is one round on half the nodes).
+	StepLocalCombine
+)
+
+// String returns a short step-kind label for diagnostics.
+func (k StepKind) String() string {
+	switch k {
+	case StepClusterDim:
+		return "clusterDim"
+	case StepCrossHop:
+		return "crossHop"
+	default:
+		return "localCombine"
+	}
+}
+
+// Detour is one broken pair's repair relay: the alive path joining the two
+// endpoints, forward and (precomputed, so node programs stay alloc-free)
+// backward. The machine is deliberately ignorant of how the path was chosen;
+// the fault view lives a layer above (internal/dcomm rewrites schedules from
+// internal/fault views), keeping the interpreter free of the fault package.
+type Detour struct {
+	Path []int // Path[0] and Path[len-1] are the severed pair's endpoints
+	Back []int // Path reversed
+}
+
+// Step is one step of a compiled schedule. Fault-free schedules leave
+// Broken and Detours nil; a fault rewrite fills them in for the exchange
+// patterns severed by the fault view, and steps sharing a pattern share the
+// annotation slices.
+type Step struct {
+	Kind StepKind
+	// Dim is the cluster dimension of a StepClusterDim (0 <= Dim < n-1).
+	Dim int
+	// Pattern identifies the exchange pattern: Dim for a cluster step,
+	// ClusterDim(n) for the cross matching. Steps with equal Pattern use the
+	// same matching and therefore the same fault annotations; consumers that
+	// report per-pattern data (detour counts, repair paths) deduplicate on it.
+	Pattern int
+	// Broken marks, per node, a pair severed by the armed fault view: both
+	// endpoints idle through the matched cycle and are served by a Detours
+	// relay afterwards. nil means the step is fault-free.
+	Broken []bool
+	// Detours are the repair relays appended after the matched cycle, in
+	// canonical (normalized endpoint pair) order so every node runs the
+	// identical serial repair schedule.
+	Detours []Detour
+
+	// partners[u] is u's partner in this step's matching and links[u] that
+	// partner's position in u's ascending neighbor row — precomputed by
+	// Schedule.Finalize and shared across steps with equal Pattern, so the
+	// interpreter resolves both by table lookup instead of per-cycle
+	// arithmetic and binary search. nil on a schedule that was never
+	// finalized; Exec falls back to computing partners per step.
+	partners []int32
+	links    []int32
+}
+
+// Schedule is the compiled cluster-technique skeleton of one operation on
+// one D_n, built once and cached per (order, operation) by internal/dcomm.
+// A Schedule is immutable after construction and shared by every run.
+type Schedule struct {
+	Name  string
+	D     *topology.DualCube
+	Steps []Step
+	// RepairCycles is the extra clock cycles the fault annotations append
+	// over the fault-free schedule: the sum over steps of 2·(path length − 1)
+	// per detour. Zero for a fault-free schedule.
+	RepairCycles int
+}
+
+// Finalize precomputes every exchange step's partner and link-index tables,
+// shared across steps with equal Pattern. The cost is paid once per cached
+// schedule; it requires the topology's neighbor rows to be ascending (the
+// Topology contract, and the order the engine's CSR rows use), and leaves
+// the tables nil — interpreting stays correct, just unaccelerated — if a row
+// is not.
+func (s *Schedule) Finalize() {
+	type tables struct{ partners, links []int32 }
+	byPattern := make(map[int]tables)
+	d := s.D
+	n := d.Nodes()
+	for i := range s.Steps {
+		st := &s.Steps[i]
+		if st.Kind == StepLocalCombine || st.partners != nil {
+			continue
+		}
+		if t, ok := byPattern[st.Pattern]; ok {
+			st.partners, st.links = t.partners, t.links
+			continue
+		}
+		partners := make([]int32, n)
+		links := make([]int32, n)
+		for u := 0; u < n; u++ {
+			p := d.CrossNeighbor(u)
+			if st.Kind == StepClusterDim {
+				p = d.ClusterNeighbor(u, st.Dim)
+			}
+			partners[u] = int32(p)
+			idx := -1
+			prev := -1
+			for j, w := range d.Neighbors(u) {
+				if w <= prev {
+					return // row not ascending: leave this schedule unaccelerated
+				}
+				prev = w
+				if w == p {
+					idx = j
+				}
+			}
+			if idx < 0 {
+				return // partner not adjacent: let the interpreter's checks report it
+			}
+			links[u] = int32(idx)
+		}
+		byPattern[st.Pattern] = tables{partners, links}
+		st.partners, st.links = partners, links
+	}
+}
+
+// CommSteps returns the number of communication steps (non-local steps) of
+// the fault-free schedule.
+func (s *Schedule) CommSteps() int {
+	k := 0
+	for i := range s.Steps {
+		if s.Steps[i].Kind != StepLocalCombine {
+			k++
+		}
+	}
+	return k
+}
+
+// Exec is a node program's cursor over a compiled schedule: it tracks the
+// current step and executes each one on this node. It is a small value —
+// keep it on the program's stack (Interpret returns a value, not a pointer)
+// so interpreting a schedule allocates nothing per node.
+type Exec[T any] struct {
+	c   *Ctx[T]
+	sch *Schedule
+	pos int
+}
+
+// Interpret starts executing sch on this node. The program must consume
+// every step in order (Exchange/Send/Recv/SendRecv/Idle for communication
+// steps, LocalOps for local-combine steps) — the SPMD discipline extended to
+// the schedule: all nodes walk the same steps together.
+func Interpret[T any](c *Ctx[T], sch *Schedule) Exec[T] {
+	return Exec[T]{c: c, sch: sch}
+}
+
+// Pos returns the index of the current (next unconsumed) step.
+func (x *Exec[T]) Pos() int { return x.pos }
+
+// Ctx returns the node context the cursor executes on, so programs can
+// interleave computation accounting (Ops) with schedule steps.
+func (x *Exec[T]) Ctx() *Ctx[T] { return x.c }
+
+// Done reports whether every step has been consumed.
+func (x *Exec[T]) Done() bool { return x.pos >= len(x.sch.Steps) }
+
+// Kind returns the current step's kind.
+func (x *Exec[T]) Kind() StepKind { return x.step().Kind }
+
+// Dim returns the current step's cluster dimension.
+func (x *Exec[T]) Dim() int { return x.step().Dim }
+
+func (x *Exec[T]) step() *Step {
+	if x.pos >= len(x.sch.Steps) {
+		panic(fmt.Sprintf("machine: schedule %s over-run at step %d", x.sch.Name, x.pos))
+	}
+	return &x.sch.Steps[x.pos]
+}
+
+// partner resolves this node's partner in the current step's matching.
+func (x *Exec[T]) partner(s *Step) int {
+	if s.partners != nil {
+		return int(s.partners[x.c.id])
+	}
+	switch s.Kind {
+	case StepClusterDim:
+		return x.sch.D.ClusterNeighbor(x.c.ID(), s.Dim)
+	case StepCrossHop:
+		return x.sch.D.CrossNeighbor(x.c.ID())
+	default:
+		panic(fmt.Sprintf("machine: schedule %s step %d (%s) has no partner", x.sch.Name, x.pos, s.Kind))
+	}
+}
+
+// Partner returns this node's partner in the current step without advancing.
+func (x *Exec[T]) Partner() int { return x.partner(x.step()) }
+
+// Exchange executes the current step as a full matched exchange: send v to
+// the step's partner and receive the partner's value, honoring the step's
+// fault annotations — a severed pair idles through the matched cycle and is
+// served by the serial detour repairs instead. This is the only step form
+// that supports fault annotations.
+func (x *Exec[T]) Exchange(v T) T {
+	s := x.step()
+	var r T
+	if s.Broken != nil && s.Broken[x.c.ID()] {
+		x.c.Idle()
+	} else if s.links != nil {
+		u := x.c.id
+		r = x.c.exchangeAt(int(s.links[u]), int(s.partners[u]), v)
+	} else {
+		r = x.c.Exchange(x.partner(s), v)
+	}
+	if s.Detours != nil {
+		if got, ok := RunDetours(x.c, s.Detours, v); ok {
+			r = got
+		}
+	}
+	x.pos++
+	return r
+}
+
+// Send executes the current step as a one-way send to the step's partner
+// (role-based collectives: the holder side of a flood or split round).
+// Fault-annotated steps must use Exchange.
+func (x *Exec[T]) Send(v T) {
+	s := x.step()
+	if s.links != nil {
+		u := x.c.id
+		x.c.sendAt(int(s.links[u]), int(s.partners[u]), v, false)
+		x.c.boundary()
+	} else {
+		x.c.Send(x.partner(s), v)
+	}
+	x.pos++
+}
+
+// Recv executes the current step as a one-way receive from the step's
+// partner (the receiving side of a flood or split round).
+func (x *Exec[T]) Recv() T {
+	s := x.step()
+	var r T
+	if s.links != nil {
+		u := x.c.id
+		x.c.boundary()
+		r, _ = x.c.recvAt(int(s.links[u]), int(s.partners[u]), false)
+	} else {
+		r = x.c.Recv(x.partner(s))
+	}
+	x.pos++
+	return r
+}
+
+// SendRecv executes the current step as a simultaneous send-to and
+// receive-from the step's partner (a node that is both holder and receiver,
+// e.g. a gather collector whose cross neighbor is also a collector).
+func (x *Exec[T]) SendRecv(v T) T {
+	s := x.step()
+	var r T
+	if s.links != nil {
+		u := x.c.id
+		r = x.c.exchangeAt(int(s.links[u]), int(s.partners[u]), v)
+	} else {
+		p := x.partner(s)
+		r = x.c.SendRecv(p, v, p)
+	}
+	x.pos++
+	return r
+}
+
+// Idle spends the current communication step without communicating (a node
+// outside the step's active role set).
+func (x *Exec[T]) Idle() {
+	x.step()
+	x.c.Idle()
+	x.pos++
+}
+
+// LocalOps consumes the current StepLocalCombine, recording k computation
+// rounds on this node (k may be zero for nodes the combine does not touch).
+func (x *Exec[T]) LocalOps(k int) {
+	s := x.step()
+	if s.Kind != StepLocalCombine {
+		panic(fmt.Sprintf("machine: schedule %s step %d is %s, not localCombine", x.sch.Name, x.pos, s.Kind))
+	}
+	if k > 0 {
+		x.c.Ops(k)
+	}
+	x.pos++
+}
+
+// RunDetours walks a step's repair schedule: for each severed pair, relay
+// the first endpoint's value to the second and then the second's value back,
+// along the alive path, one hop per cycle. Every node executes the same
+// cycle count; ok reports whether this node is an endpoint of some pair (at
+// most one — matchings are disjoint) and received its partner's value.
+func RunDetours[T any](c *Ctx[T], detours []Detour, v T) (T, bool) {
+	var out T
+	var have bool
+	for i := range detours {
+		dt := &detours[i]
+		if got, ok := RelayOneWay(c, dt.Path, v); ok {
+			out, have = got, true
+		}
+		if got, ok := RelayOneWay(c, dt.Back, v); ok {
+			out, have = got, true
+		}
+	}
+	return out, have
+}
+
+// RelayOneWay moves the source's value along path, one hop per cycle
+// (len(path)-1 cycles). Nodes off the path idle every cycle; relay nodes
+// receive on one cycle and forward on the next; ok reports whether this node
+// is the destination.
+func RelayOneWay[T any](c *Ctx[T], path []int, v T) (T, bool) {
+	u := c.ID()
+	pos := -1
+	for i, x := range path {
+		if x == u {
+			pos = i
+			break
+		}
+	}
+	last := len(path) - 1
+	cur := v // the source's payload; relays overwrite it on receive
+	for hop := 0; hop < last; hop++ {
+		switch pos {
+		case hop:
+			c.Send(path[hop+1], cur)
+		case hop + 1:
+			cur = c.Recv(path[hop])
+		default:
+			c.Idle()
+		}
+	}
+	return cur, pos == last
+}

@@ -10,12 +10,14 @@ import (
 	"dualcube/internal/topology"
 )
 
-// DPrefixDegraded runs Algorithm 2 on a D_n with permanent link faults: the
-// same five steps as DPrefix, but every intra-cluster and cross-edge exchange
-// goes through the fault-tolerant dcomm variants, so pairs severed by the
-// plan relay their values over precomputed alive detours. The fault plan is
-// armed in the engine, so the run aborts if the schedule ever touches failed
-// hardware — correctness of the detours is machine-checked, not assumed.
+// DPrefixDegraded runs Algorithm 2 on a D_n with permanent link faults. It is
+// the same node program as DPrefix — dprefixProgram — executed over the
+// fault-rewritten schedule: dcomm.RewriteFT annotates every exchange pattern
+// severed by the fault view with its broken-pair mask and the canonical
+// detour relays, and the machine's schedule interpreter stretches the
+// affected steps accordingly. The fault plan is armed in the engine, so the
+// run aborts if the schedule ever touches failed hardware — correctness of
+// the detours is machine-checked, not assumed.
 //
 // The result is correct for any f <= n-1 permanent link faults (the link
 // connectivity of D_n is n, so every broken pair keeps an alive repair path);
@@ -26,17 +28,15 @@ import (
 // protocol for message loss — both are out of the paper's degraded-mode
 // scope.
 //
-// With a nil (or empty) plan every detour plan is nil and the schedule is
-// byte-identical to DPrefix: 2n communication steps. Each repaired pair adds
-// 2·(detour length − 1) cycles per affected exchange; the measured totals
-// versus Theorem 1's fault-free 2n+1 bound are tabulated in EXPERIMENTS.md.
+// With a nil (or empty) plan the rewrite returns the fault-free schedule
+// itself and the run is byte-identical to DPrefix: 2n communication steps.
+// Each repaired pair adds 2·(detour length − 1) cycles per affected exchange;
+// the measured totals versus Theorem 1's fault-free 2n+1 bound are tabulated
+// in EXPERIMENTS.md.
 func DPrefixDegraded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, plan *fault.Plan) ([]T, machine.Stats, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Validated(n, len(in))
 	if err != nil {
 		return nil, machine.Stats{}, err
-	}
-	if len(in) != d.Nodes() {
-		return nil, machine.Stats{}, fmt.Errorf("prefix: input length %d != %d nodes of %s", len(in), d.Nodes(), d.Name())
 	}
 	if err := plan.Validate(d); err != nil {
 		return nil, machine.Stats{}, err
@@ -50,14 +50,7 @@ func DPrefixDegraded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, p
 		}
 	}
 
-	view := fault.NewView(d, plan)
-	clus := make([]*dcomm.FTPlan, d.ClusterDim())
-	for i := range clus {
-		if clus[i], err = dcomm.PlanClusterExchangeFT(d, view, i); err != nil {
-			return nil, machine.Stats{}, err
-		}
-	}
-	cross, err := dcomm.PlanCrossExchangeFT(d, view)
+	sch, err := dcomm.RewriteFT(dcomm.Compiled(d, dcomm.OpPrefix), fault.NewView(d, plan))
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
@@ -68,84 +61,16 @@ func DPrefixDegraded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, p
 		return nil, machine.Stats{}, err
 	}
 	defer eng.Release()
-	st, err := eng.Run(degradedProgram(d, in, m, inclusive, out, clus, cross))
+	st, err := eng.Run(dprefixProgram(d, sch, in, m, inclusive, out, func(int, int, T, T) {}))
 	if err != nil {
 		return nil, st, err
 	}
 	return out, st, nil
 }
 
-// ascendStepFT is ascendStep routed through the fault-tolerant cluster
-// exchange; with a nil detour plan it is the identical schedule.
-func ascendStepFT[T any](c *machine.Ctx[T], m monoid.Monoid[T], d *topology.DualCube, dim int, upper bool, t, s T, p *dcomm.FTPlan) (T, T) {
-	temp := dcomm.ClusterExchangeFT(c, d, dim, t, p)
-	if upper {
-		s = m.Combine(temp, s)
-		t = m.Combine(temp, t)
-	} else {
-		t = m.Combine(t, temp)
-	}
-	c.Ops(1)
-	return t, s
-}
-
-// degradedProgram is dprefixProgram with every exchange replaced by its
-// fault-tolerant counterpart. The combine order and computation rounds are
-// unchanged, so the algebraic behavior (and the Ops accounting) matches
-// DPrefix exactly; only the communication schedule stretches under faults.
-func degradedProgram[T any](d *topology.DualCube, in []T, m monoid.Monoid[T], inclusive bool, out []T, clus []*dcomm.FTPlan, cross *dcomm.FTPlan) func(c *machine.Ctx[T]) {
-	mdim := d.ClusterDim()
-	return func(c *machine.Ctx[T]) {
-		u := c.ID()
-		idx := d.DataIndex(u)
-		local := d.LocalID(u)
-
-		t := in[idx]
-		s := in[idx]
-		if !inclusive {
-			s = m.Identity()
-		}
-
-		// Step 1: inclusive prefix of the block inside the cluster.
-		for i := 0; i < mdim; i++ {
-			t, s = ascendStepFT(c, m, d, i, local&(1<<i) != 0, t, s, clus[i])
-		}
-
-		// Step 2: cross-edge exchange of block totals.
-		temp := dcomm.CrossExchangeFT(c, d, t, cross)
-
-		// Step 3: diminished prefix of the received block totals.
-		t2 := temp
-		s2 := m.Identity()
-		for i := 0; i < mdim; i++ {
-			t2, s2 = ascendStepFT(c, m, d, i, local&(1<<i) != 0, t2, s2, clus[i])
-		}
-
-		// Step 4: cross-edge exchange of the prefixed totals; fold in the
-		// combined earlier-block totals of this node's own class half.
-		recv := dcomm.CrossExchangeFT(c, d, s2, cross)
-		s = m.Combine(recv, s)
-		c.Ops(1)
-
-		// Step 5: class-1 blocks come after all class-0 blocks, so class-1
-		// nodes prepend the class-0 grand total (their t').
-		if d.Class(u) == 1 {
-			s = m.Combine(t2, s)
-			c.Ops(1)
-		}
-
-		out[idx] = s
-	}
-}
-
-// DegradedCommOverhead returns the extra communication cycles the detour
-// plans append to the fault-free 2n schedule: each of the five steps reuses
-// its pattern's repairs, so cluster-dimension repairs are paid twice (steps 1
-// and 3) and cross repairs twice (steps 2 and 4).
-func DegradedCommOverhead(clus []*dcomm.FTPlan, cross *dcomm.FTPlan) int {
-	extra := 0
-	for _, p := range clus {
-		extra += 2 * p.RepairCycles()
-	}
-	return extra + 2*cross.RepairCycles()
-}
+// DegradedCommOverhead returns the extra communication cycles a
+// fault-rewritten prefix schedule appends to the fault-free 2n schedule.
+// Steps reuse their pattern's repairs, so cluster-dimension repairs are paid
+// twice (steps 1 and 3) and cross repairs twice (steps 2 and 4); the
+// schedule's RepairCycles field carries exactly that per-step sum.
+func DegradedCommOverhead(sch *machine.Schedule) int { return sch.RepairCycles }

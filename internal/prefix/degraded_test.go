@@ -39,13 +39,11 @@ func TestDPrefixDegradedSweep(t *testing.T) {
 				if st.Faults.DownLinks != 2*f {
 					t.Errorf("n=%d f=%d: Stats.Faults.DownLinks = %d, want %d", n, f, st.Faults.DownLinks, 2*f)
 				}
-				view := fault.NewView(d, plan)
-				clus := make([]*dcomm.FTPlan, d.ClusterDim())
-				for i := range clus {
-					clus[i], _ = dcomm.PlanClusterExchangeFT(d, view, i)
+				sch, err := dcomm.RewriteFT(dcomm.Compiled(d, dcomm.OpPrefix), fault.NewView(d, plan))
+				if err != nil {
+					t.Fatalf("n=%d f=%d: rewrite: %v", n, f, err)
 				}
-				cross, _ := dcomm.PlanCrossExchangeFT(d, view)
-				if want := MeasuredCommSteps(n) + DegradedCommOverhead(clus, cross); st.Cycles != want {
+				if want := MeasuredCommSteps(n) + DegradedCommOverhead(sch); st.Cycles != want {
 					t.Errorf("n=%d f=%d: comm steps %d, want %d", n, f, st.Cycles, want)
 				}
 			}

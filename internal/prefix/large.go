@@ -3,6 +3,7 @@ package prefix
 import (
 	"fmt"
 
+	"dualcube/internal/dcomm"
 	"dualcube/internal/machine"
 	"dualcube/internal/monoid"
 	"dualcube/internal/topology"
@@ -17,7 +18,7 @@ import (
 // each local result (k more combines). Communication cost is independent
 // of k; only the payload work grows.
 func DPrefixLarge[T any](n, k int, in []T, m monoid.Monoid[T], inclusive bool) ([]T, machine.Stats, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Shared(n)
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
@@ -28,6 +29,7 @@ func DPrefixLarge[T any](n, k int, in []T, m monoid.Monoid[T], inclusive bool) (
 		return nil, machine.Stats{}, fmt.Errorf("prefix: input length %d != k*N = %d", len(in), k*d.Nodes())
 	}
 	mdim := d.ClusterDim()
+	sch := dcomm.Compiled(d, dcomm.OpPrefix)
 	out := make([]T, len(in))
 
 	eng, err := machine.New[T](d, machine.Config{})
@@ -58,23 +60,27 @@ func DPrefixLarge[T any](n, k int, in []T, m monoid.Monoid[T], inclusive bool) (
 		c.Ops(k - 1)
 
 		// Algorithm 2 over the chunk totals, diminished: s becomes the
-		// combination of all chunks strictly before this node's chunk.
+		// combination of all chunks strictly before this node's chunk,
+		// walked over the same compiled schedule as DPrefix.
+		x := machine.Interpret(c, sch)
 		s := m.Identity()
 		for i := 0; i < mdim; i++ {
-			t, s = ascendStep(c, m, d.ClusterNeighbor(u, i), local&(1<<i) != 0, t, s)
+			t, s = ascendExec(&x, m, local&(1<<i) != 0, t, s)
 		}
-		temp := c.Exchange(d.CrossNeighbor(u), t)
+		temp := x.Exchange(t)
 		t2 := temp
 		s2 := m.Identity()
 		for i := 0; i < mdim; i++ {
-			t2, s2 = ascendStep(c, m, d.ClusterNeighbor(u, i), local&(1<<i) != 0, t2, s2)
+			t2, s2 = ascendExec(&x, m, local&(1<<i) != 0, t2, s2)
 		}
-		recv := c.Exchange(d.CrossNeighbor(u), s2)
+		recv := x.Exchange(s2)
 		s = m.Combine(recv, s)
 		c.Ops(1)
 		if d.Class(u) == 1 {
 			s = m.Combine(t2, s)
-			c.Ops(1)
+			x.LocalOps(1)
+		} else {
+			x.LocalOps(0)
 		}
 
 		// Fold the global offset into the local scan.

@@ -9,6 +9,12 @@
 // machine statistics so the experiment harness can check the theorems:
 // D_prefix on D_n runs in 2n communication steps (Theorem 1 bound: at most
 // 2n+1) and 2n computation rounds.
+//
+// D_prefix executes through the compiled cluster-technique schedule
+// (dcomm.Compiled(d, dcomm.OpPrefix)): the program walks the shared
+// machine.Schedule via an Exec cursor instead of re-deriving partners inline,
+// so the fault-free and degraded variants are the same program over different
+// schedules.
 package prefix
 
 import (
@@ -35,6 +41,21 @@ func ascendStep[T any](c *machine.Ctx[T], m monoid.Monoid[T], partner int, upper
 		t = m.Combine(t, temp)
 	}
 	c.Ops(1)
+	return t, s
+}
+
+// ascendExec is ascendStep driven by a schedule cursor: the current step's
+// matching supplies the partner (and the fault detours of a rewritten
+// schedule), the combine order is identical.
+func ascendExec[T any](x *machine.Exec[T], m monoid.Monoid[T], upper bool, t, s T) (T, T) {
+	temp := x.Exchange(t)
+	if upper {
+		s = m.Combine(temp, s)
+		t = m.Combine(temp, t)
+	} else {
+		t = m.Combine(t, temp)
+	}
+	x.Ctx().Ops(1)
 	return t, s
 }
 
@@ -121,12 +142,9 @@ func (tr *Trace[T]) addPhase(label string, n int) *Phase[T] {
 //
 // tr may be nil; when non-nil it receives the Figure 3 phase snapshots.
 func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace[T]) ([]T, machine.Stats, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Validated(n, len(in))
 	if err != nil {
 		return nil, machine.Stats{}, err
-	}
-	if len(in) != d.Nodes() {
-		return nil, machine.Stats{}, fmt.Errorf("prefix: input length %d != %d nodes of %s", len(in), d.Nodes(), d.Name())
 	}
 
 	var snaps []*Phase[T]
@@ -155,7 +173,7 @@ func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace
 		return nil, machine.Stats{}, err
 	}
 	defer eng.Release()
-	st, err := eng.Run(dprefixProgram(d, in, m, inclusive, out, snap))
+	st, err := eng.Run(dprefixProgram(d, dcomm.Compiled(d, dcomm.OpPrefix), in, m, inclusive, out, snap))
 	if err != nil {
 		return nil, st, err
 	}
@@ -166,12 +184,9 @@ func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace
 // and the space-time event log) for the traffic analysis of experiment
 // E14. Tracing snapshots are not supported in this variant.
 func DPrefixRecorded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool) ([]T, machine.Stats, *machine.Recording, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Validated(n, len(in))
 	if err != nil {
 		return nil, machine.Stats{}, nil, err
-	}
-	if len(in) != d.Nodes() {
-		return nil, machine.Stats{}, nil, fmt.Errorf("prefix: input length %d != %d nodes of %s", len(in), d.Nodes(), d.Name())
 	}
 	out := make([]T, len(in))
 	eng, err := machine.New[T](d, machine.Config{})
@@ -179,16 +194,18 @@ func DPrefixRecorded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool) (
 		return nil, machine.Stats{}, nil, err
 	}
 	defer eng.Release()
-	st, rec, err := eng.RunRecorded(dprefixProgram(d, in, m, inclusive, out, func(int, int, T, T) {}))
+	st, rec, err := eng.RunRecorded(dprefixProgram(d, dcomm.Compiled(d, dcomm.OpPrefix), in, m, inclusive, out, func(int, int, T, T) {}))
 	if err != nil {
 		return nil, st, nil, err
 	}
 	return out, st, rec, nil
 }
 
-// dprefixProgram builds the per-node SPMD program of Algorithm 2. snap is
+// dprefixProgram builds the per-node SPMD program of Algorithm 2 over a
+// compiled prefix schedule — the fault-free one from dcomm.Compiled, or a
+// fault-rewritten variant whose exchanges carry detour annotations. snap is
 // the phase-snapshot hook (phase index, element index, s, t).
-func dprefixProgram[T any](d *topology.DualCube, in []T, m monoid.Monoid[T], inclusive bool, out []T, snap func(i, idx int, s, t T)) func(c *machine.Ctx[T]) {
+func dprefixProgram[T any](d *topology.DualCube, sch *machine.Schedule, in []T, m monoid.Monoid[T], inclusive bool, out []T, snap func(i, idx int, s, t T)) func(c *machine.Ctx[T]) {
 	mdim := d.ClusterDim()
 	return func(c *machine.Ctx[T]) {
 		u := c.ID()
@@ -202,27 +219,29 @@ func dprefixProgram[T any](d *topology.DualCube, in []T, m monoid.Monoid[T], inc
 		}
 		snap(0, idx, in[idx], in[idx])
 
+		x := machine.Interpret(c, sch)
+
 		// Step 1: inclusive prefix of the block inside the cluster.
 		for i := 0; i < mdim; i++ {
-			t, s = ascendStep(c, m, d.ClusterNeighbor(u, i), local&(1<<i) != 0, t, s)
+			t, s = ascendExec(&x, m, local&(1<<i) != 0, t, s)
 		}
 		snap(1, idx, s, t)
 
 		// Step 2: cross-edge exchange of block totals.
-		temp := dcomm.CrossExchange(c, d, t)
+		temp := x.Exchange(t)
 		snap(2, idx, s, temp)
 
 		// Step 3: diminished prefix of the received block totals.
 		t2 := temp
 		s2 := m.Identity()
 		for i := 0; i < mdim; i++ {
-			t2, s2 = ascendStep(c, m, d.ClusterNeighbor(u, i), local&(1<<i) != 0, t2, s2)
+			t2, s2 = ascendExec(&x, m, local&(1<<i) != 0, t2, s2)
 		}
 		snap(3, idx, s2, t2)
 
 		// Step 4: cross-edge exchange of the prefixed totals; fold in the
 		// combined earlier-block totals of this node's own class half.
-		recv := dcomm.CrossExchange(c, d, s2)
+		recv := x.Exchange(s2)
 		s = m.Combine(recv, s)
 		c.Ops(1)
 		snap(4, idx, s, t2)
@@ -231,7 +250,9 @@ func dprefixProgram[T any](d *topology.DualCube, in []T, m monoid.Monoid[T], inc
 		// nodes prepend the class-0 grand total (their t').
 		if d.Class(u) == 1 {
 			s = m.Combine(t2, s)
-			c.Ops(1)
+			x.LocalOps(1)
+		} else {
+			x.LocalOps(0)
 		}
 		snap(5, idx, s, t2)
 

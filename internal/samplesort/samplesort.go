@@ -35,7 +35,7 @@ import (
 // distribution, so nodes end with unequal shares; the returned slice is
 // their in-order concatenation). Communication: exactly 4n rounds.
 func Sort[K any](n, k int, keys []K, less func(a, b K) bool) ([]K, machine.Stats, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Shared(n)
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}

@@ -53,7 +53,7 @@ func mergeSplit[K any](a, b []K, less func(x, y K) bool, low bool) []K {
 // Communication steps are identical to DSort (messages carry k keys);
 // computation grows by the local sort and the k-element merges.
 func DSortLarge[K any](n, k int, keys []K, less func(a, b K) bool, ord Order) ([]K, machine.Stats, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Shared(n)
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}

@@ -166,12 +166,9 @@ func dsortSchedule(n int) []Step[struct{}] {
 // three cycles otherwise (half the pairs route through two cross-edges).
 // tr may be nil; when non-nil it receives the Figure 5/6 snapshots.
 func DSort[K any](n int, keys []K, less func(a, b K) bool, ord Order, tr *Trace[K]) ([]K, machine.Stats, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Validated(n, len(keys))
 	if err != nil {
 		return nil, machine.Stats{}, err
-	}
-	if len(keys) != d.Nodes() {
-		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys for %d nodes of %s", len(keys), d.Nodes(), d.Name())
 	}
 
 	// Optional tracing: preallocate one snapshot per scheduled step.
@@ -202,12 +199,9 @@ func DSort[K any](n int, keys []K, less func(a, b K) bool, ord Order, tr *Trace[
 // DSortRecorded is DSort with full message recording (per-link loads and
 // the space-time event log) for the traffic analysis of experiment E14.
 func DSortRecorded[K any](n int, keys []K, less func(a, b K) bool, ord Order) ([]K, machine.Stats, *machine.Recording, error) {
-	d, err := topology.NewDualCube(n)
+	d, err := topology.Validated(n, len(keys))
 	if err != nil {
 		return nil, machine.Stats{}, nil, err
-	}
-	if len(keys) != d.Nodes() {
-		return nil, machine.Stats{}, nil, fmt.Errorf("sortnet: %d keys for %d nodes of %s", len(keys), d.Nodes(), d.Name())
 	}
 	out := make([]K, len(keys))
 	eng, err := machine.New[K](d, machine.Config{})

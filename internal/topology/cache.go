@@ -1,0 +1,42 @@
+package topology
+
+import "fmt"
+
+// shared holds the one immutable *DualCube value per order. A DualCube is a
+// pair of ints with purely arithmetic methods, so a single value can be
+// shared by every caller in the process for the lifetime of the program —
+// there is nothing to evict and nothing to synchronize. The table is built
+// eagerly at init (14 tiny allocations, once), which keeps Shared a plain
+// array read on every call.
+var shared [MaxDualCubeOrder + 1]*DualCube
+
+func init() {
+	for n := 1; n <= MaxDualCubeOrder; n++ {
+		shared[n] = &DualCube{n: n, m: n - 1}
+	}
+}
+
+// Shared returns the process-wide cached D_n. It is the allocation-free
+// equivalent of NewDualCube and the only constructor the algorithm layers
+// should use: repeated calls return the identical pointer, so steady-state
+// operation entry costs no topology construction at all.
+func Shared(n int) (*DualCube, error) {
+	if n < 1 || n > MaxDualCubeOrder {
+		return nil, fmt.Errorf("topology: dual-cube order %d out of range [1,%d]", n, MaxDualCubeOrder)
+	}
+	return shared[n], nil
+}
+
+// Validated is the shared input check of every per-node operation on D_n: it
+// resolves the cached topology and requires exactly one input element per
+// node, with one uniform error wording across all algorithm packages.
+func Validated(n, lenIn int) (*DualCube, error) {
+	d, err := Shared(n)
+	if err != nil {
+		return nil, err
+	}
+	if lenIn != d.Nodes() {
+		return nil, fmt.Errorf("dualcube: input length %d != %d nodes of %s", lenIn, d.Nodes(), d.Name())
+	}
+	return d, nil
+}

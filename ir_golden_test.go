@@ -1,0 +1,137 @@
+package dualcube
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenStats is the serializable projection of Stats pinned by the golden
+// file (Faults is omitted: the fault-free workloads report a zero value and
+// the degraded workloads pin their fault counters separately).
+type goldenStats struct {
+	Nodes      int   `json:"nodes"`
+	Cycles     int   `json:"cycles"`
+	CommCycles int   `json:"comm_cycles"`
+	Messages   int64 `json:"messages"`
+	MaxOps     int   `json:"max_ops"`
+	TotalOps   int64 `json:"total_ops"`
+}
+
+func toGolden(st Stats) goldenStats {
+	return goldenStats{
+		Nodes:      st.Nodes,
+		Cycles:     st.Cycles,
+		CommCycles: st.CommCycles,
+		Messages:   st.Messages,
+		MaxOps:     st.MaxOps,
+		TotalOps:   st.TotalOps,
+	}
+}
+
+// degradedWorkloads extends the differential table with degraded-mode prefix
+// runs under seeded fault plans, pinning the fault-tolerant schedule (detour
+// order and repair cycle counts) alongside the fault-free operations.
+var degradedWorkloads = []struct {
+	name string
+	run  func(n int) (any, Stats, error)
+}{
+	{"PrefixDegraded/f=1", func(n int) (any, Stats, error) {
+		plan, err := RandomFaultPlan(n, 1, 2008)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return runDegraded(n, plan)
+	}},
+	{"PrefixDegraded/f=max", func(n int) (any, Stats, error) {
+		plan, err := RandomFaultPlan(n, n-1, 42)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return runDegraded(n, plan)
+	}},
+}
+
+func runDegraded(n int, plan *FaultPlan) (any, Stats, error) {
+	out, st, err := PrefixDegraded(n, diffInput(n), plan)
+	return out, st, err
+}
+
+// TestIRGoldenStats pins the cost statistics of every operation against the
+// golden file captured from the inline (pre-IR) implementations. The compiled
+// schedules executed by the machine interpreter must be byte-identical to
+// those implementations: same cycles, same messages, same computation rounds,
+// for every operation at every order. Regenerate with IR_GOLDEN_UPDATE=1
+// only when a schedule change is intentional and explained.
+func TestIRGoldenStats(t *testing.T) {
+	path := filepath.Join("testdata", "ir_golden_stats.json")
+	type entry struct {
+		Workload string      `json:"workload"`
+		N        int         `json:"n"`
+		Stats    goldenStats `json:"stats"`
+	}
+
+	var got []entry
+	for _, w := range differentialWorkloads {
+		for n := 2; n <= 4; n++ {
+			_, st, err := w.run(n)
+			if err != nil {
+				t.Fatalf("%s/D_%d: %v", w.name, n, err)
+			}
+			got = append(got, entry{Workload: w.name, N: n, Stats: toGolden(st)})
+		}
+	}
+	for _, w := range degradedWorkloads {
+		for n := 2; n <= 4; n++ {
+			_, st, err := w.run(n)
+			if err != nil {
+				t.Fatalf("%s/D_%d: %v", w.name, n, err)
+			}
+			got = append(got, entry{Workload: w.name, N: n, Stats: toGolden(st)})
+		}
+	}
+
+	if os.Getenv("IR_GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with IR_GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	var want []entry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantByKey := make(map[string]goldenStats, len(want))
+	for _, e := range want {
+		wantByKey[fmt.Sprintf("%s/D_%d", e.Workload, e.N)] = e.Stats
+	}
+	for _, e := range got {
+		key := fmt.Sprintf("%s/D_%d", e.Workload, e.N)
+		ref, ok := wantByKey[key]
+		if !ok {
+			t.Errorf("%s: no golden entry", key)
+			continue
+		}
+		if e.Stats != ref {
+			t.Errorf("%s: stats diverge from the inline implementation\n  got:    %+v\n  golden: %+v", key, e.Stats, ref)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("workload count changed: %d runs vs %d golden entries", len(got), len(want))
+	}
+}

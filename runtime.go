@@ -1,0 +1,236 @@
+package dualcube
+
+import (
+	"cmp"
+
+	"dualcube/internal/collective"
+	"dualcube/internal/dcomm"
+	"dualcube/internal/embedding"
+	"dualcube/internal/monoid"
+	"dualcube/internal/ntt"
+	"dualcube/internal/prefix"
+	"dualcube/internal/samplesort"
+	"dualcube/internal/sortnet"
+	"dualcube/internal/topology"
+)
+
+// Runtime is a reusable execution handle for one D_n. It binds the
+// process-wide cached topology (one immutable *DualCube per order, shared by
+// every caller) and fronts the simulator's engine recycling pool, so a warm
+// Runtime executes operations with zero topology or engine construction:
+// the first run of an operation at a given element type builds its engine
+// and compiles its cluster-technique schedule; every later run checks both
+// out of their caches.
+//
+// A Runtime is safe for concurrent use: the topology and the compiled
+// schedules are immutable, and checked-out engines are exclusive to one run
+// (the pool hands each engine to at most one caller at a time), so
+// concurrent operations on the same Runtime never share mutable state.
+//
+// Because Go does not allow type parameters on methods, the generic
+// operations are free functions taking the Runtime first — PrefixOn(rt, in),
+// SortOn(rt, keys, ord), and so on. The package-level one-shot functions
+// (Prefix, Sort, ...) are thin wrappers over a package-default Runtime per
+// order, so both styles share the same caches.
+type Runtime struct {
+	d *topology.DualCube
+}
+
+// NewRuntime returns the execution handle for D_n (1 <= n <= 14). The
+// handle is cheap — it wraps the shared cached topology — so holding one
+// per subsystem or creating them on the fly are equally fine; all handles
+// of the same order share every cache.
+func NewRuntime(n int) (*Runtime, error) {
+	d, err := topology.Shared(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{d: d}, nil
+}
+
+// defaultRuntimes backs the package-level one-shot functions: one Runtime
+// per order, built eagerly beside the topology cache so one-shot calls pay
+// no lookup synchronization.
+var defaultRuntimes [topology.MaxDualCubeOrder + 1]Runtime
+
+func init() {
+	for n := 1; n <= topology.MaxDualCubeOrder; n++ {
+		d, _ := topology.Shared(n)
+		defaultRuntimes[n] = Runtime{d: d}
+	}
+}
+
+// defaultRuntime resolves the package-default Runtime for order n.
+func defaultRuntime(n int) (*Runtime, error) {
+	if n < 1 || n > topology.MaxDualCubeOrder {
+		// Delegate the error wording to the shared range check.
+		if _, err := topology.Shared(n); err != nil {
+			return nil, err
+		}
+	}
+	return &defaultRuntimes[n], nil
+}
+
+// Order returns n, the number of links per node.
+func (rt *Runtime) Order() int { return rt.d.Order() }
+
+// Nodes returns the number of nodes, 2^(2n-1).
+func (rt *Runtime) Nodes() int { return rt.d.Nodes() }
+
+// Network returns the topology handle for structural queries.
+func (rt *Runtime) Network() *Network { return &Network{d: rt.d} }
+
+// Warm pre-compiles the cluster-technique schedules of every collective
+// operation for this order. Engines are typed by element, so they warm on
+// the first run of each (operation, element type) pair; Warm only removes
+// the schedule-compilation cost from that first run.
+func (rt *Runtime) Warm() {
+	for op := dcomm.OpPrefix; op < dcomm.OpEnd; op++ {
+		dcomm.Compiled(rt.d, op)
+	}
+}
+
+// Barrier synchronizes all nodes of the Runtime's network; it completes
+// only after every node has entered it (2n communication steps).
+func (rt *Runtime) Barrier() (Stats, error) {
+	return collective.Barrier(rt.d.Order())
+}
+
+// HamiltonianCycle returns a Hamiltonian cycle of the Runtime's network
+// (n >= 2): a dilation-1 ring embedding over all 2^(2n-1) nodes.
+func (rt *Runtime) HamiltonianCycle() ([]int, error) {
+	return embedding.DualCubeHamiltonianCycle(rt.d.Order())
+}
+
+// PrefixOn computes all prefix sums of in on rt's network: out[i] =
+// in[0]+...+in[i], Algorithm 2 of the paper in 2n communication steps.
+func PrefixOn[T monoid.Number](rt *Runtime, in []T) ([]T, Stats, error) {
+	return prefix.DPrefix(rt.d.Order(), in, monoid.Sum[T](), true, nil)
+}
+
+// PrefixFuncOn is PrefixOn under an arbitrary associative operation with
+// identity; combine is applied strictly in element order. Set inclusive to
+// false for the diminished prefix.
+func PrefixFuncOn[T any](rt *Runtime, in []T, identity func() T, combine func(a, b T) T, inclusive bool) ([]T, Stats, error) {
+	return prefix.DPrefix(rt.d.Order(), in, mono(identity, combine), inclusive, nil)
+}
+
+// PrefixDegradedOn is PrefixOn on a network degraded by plan's permanent
+// link faults; see PrefixDegraded.
+func PrefixDegradedOn[T monoid.Number](rt *Runtime, in []T, plan *FaultPlan) ([]T, Stats, error) {
+	return prefix.DPrefixDegraded(rt.d.Order(), in, monoid.Sum[T](), true, plan)
+}
+
+// PrefixDegradedFuncOn is PrefixDegradedOn for an arbitrary monoid.
+func PrefixDegradedFuncOn[T any](rt *Runtime, in []T, identity func() T, combine func(a, b T) T, inclusive bool, plan *FaultPlan) ([]T, Stats, error) {
+	return prefix.DPrefixDegraded(rt.d.Order(), in, mono(identity, combine), inclusive, plan)
+}
+
+// PrefixLargeOn computes prefix sums of an input with k elements per node.
+func PrefixLargeOn[T monoid.Number](rt *Runtime, k int, in []T) ([]T, Stats, error) {
+	return prefix.DPrefixLarge(rt.d.Order(), k, in, monoid.Sum[T](), true)
+}
+
+// PrefixLargeFuncOn is PrefixLargeOn for an arbitrary monoid.
+func PrefixLargeFuncOn[T any](rt *Runtime, k int, in []T, identity func() T, combine func(a, b T) T, inclusive bool) ([]T, Stats, error) {
+	return prefix.DPrefixLarge(rt.d.Order(), k, in, mono(identity, combine), inclusive)
+}
+
+// PrefixSegmentedOn computes the inclusive segmented prefix; see
+// PrefixSegmented.
+func PrefixSegmentedOn[T any](rt *Runtime, values []T, heads []bool, identity func() T, combine func(a, b T) T) ([]T, Stats, error) {
+	return prefix.DPrefixSegmented(rt.d.Order(), values, heads, mono(identity, combine))
+}
+
+// SortOn sorts 2^(2n-1) ordered keys on rt's network with Algorithm 3.
+func SortOn[K cmp.Ordered](rt *Runtime, keys []K, ord Order) ([]K, Stats, error) {
+	return sortnet.DSort(rt.d.Order(), keys, func(a, b K) bool { return a < b }, ord, nil)
+}
+
+// SortFuncOn sorts arbitrary records under a user comparison.
+func SortFuncOn[K any](rt *Runtime, keys []K, less func(a, b K) bool, ord Order) ([]K, Stats, error) {
+	return sortnet.DSort(rt.d.Order(), keys, less, ord, nil)
+}
+
+// SortLargeOn sorts k·2^(2n-1) keys, k per node.
+func SortLargeOn[K cmp.Ordered](rt *Runtime, k int, keys []K, ord Order) ([]K, Stats, error) {
+	return sortnet.DSortLarge(rt.d.Order(), k, keys, func(a, b K) bool { return a < b }, ord)
+}
+
+// SortLargeFuncOn is SortLargeOn with a user comparison.
+func SortLargeFuncOn[K any](rt *Runtime, k int, keys []K, less func(a, b K) bool, ord Order) ([]K, Stats, error) {
+	return sortnet.DSortLarge(rt.d.Order(), k, keys, less, ord)
+}
+
+// BroadcastOn delivers value from node root to every node in 2n steps.
+func BroadcastOn[T any](rt *Runtime, root int, value T) ([]T, Stats, error) {
+	return collective.Broadcast(rt.d.Order(), root, value)
+}
+
+// AllReduceOn combines all elements in order and delivers the total to
+// every node, in 2n steps.
+func AllReduceOn[T any](rt *Runtime, in []T, identity func() T, combine func(a, b T) T) ([]T, Stats, error) {
+	return collective.AllReduce(rt.d.Order(), in, mono(identity, combine))
+}
+
+// AllReduceSumOn is AllReduceOn specialised to addition.
+func AllReduceSumOn[T monoid.Number](rt *Runtime, in []T) ([]T, Stats, error) {
+	return collective.AllReduce(rt.d.Order(), in, monoid.Sum[T]())
+}
+
+// GatherOn collects every element to root in element order.
+func GatherOn[T any](rt *Runtime, root int, in []T) ([]T, Stats, error) {
+	return collective.Gather(rt.d.Order(), root, in)
+}
+
+// ScatterOn distributes in (element order) from root.
+func ScatterOn[T any](rt *Runtime, root int, in []T) ([]T, Stats, error) {
+	return collective.Scatter(rt.d.Order(), root, in)
+}
+
+// AllGatherOn delivers the whole element sequence to every node.
+func AllGatherOn[T any](rt *Runtime, in []T) ([][]T, Stats, error) {
+	return collective.AllGather(rt.d.Order(), in)
+}
+
+// AllToAllOn performs the total exchange: out[j][i] = in[i][j].
+func AllToAllOn[T any](rt *Runtime, in [][]T) ([][]T, Stats, error) {
+	return collective.AllToAll(rt.d.Order(), in)
+}
+
+// AllToAllVOn is the variable-size total exchange.
+func AllToAllVOn[T any](rt *Runtime, in [][][]T) ([][][]T, Stats, error) {
+	return collective.AllToAllV(rt.d.Order(), in)
+}
+
+// ReduceScatterOn combines element-wise contributions and leaves each node
+// its own combined entry.
+func ReduceScatterOn[T any](rt *Runtime, in [][]T, identity func() T, combine func(a, b T) T) ([]T, Stats, error) {
+	return collective.ReduceScatter(rt.d.Order(), in, mono(identity, combine))
+}
+
+// PermuteOn routes values[i] to slot dests[i].
+func PermuteOn[T any](rt *Runtime, dests []int, values []T) ([]T, Stats, error) {
+	return sortnet.Permute(rt.d.Order(), dests, values)
+}
+
+// SampleSortOn sorts k·2^(2n-1) keys by parallel sample sort.
+func SampleSortOn[K cmp.Ordered](rt *Runtime, k int, keys []K) ([]K, Stats, error) {
+	return samplesort.Sort(rt.d.Order(), k, keys, func(a, b K) bool { return a < b })
+}
+
+// SampleSortFuncOn is SampleSortOn with a user comparison.
+func SampleSortFuncOn[K any](rt *Runtime, k int, keys []K, less func(a, b K) bool) ([]K, Stats, error) {
+	return samplesort.Sort(rt.d.Order(), k, keys, less)
+}
+
+// NTTOn computes the 2^(2n-1)-point number-theoretic transform of coeffs,
+// or its inverse.
+func NTTOn(rt *Runtime, coeffs []uint64, invert bool) ([]uint64, Stats, error) {
+	return ntt.Transform(rt.d.Order(), coeffs, invert)
+}
+
+// PolyMulModOn multiplies two polynomials with coefficients mod 998244353.
+func PolyMulModOn(rt *Runtime, a, b []uint64) ([]uint64, Stats, error) {
+	return ntt.PolyMul(rt.d.Order(), a, b)
+}

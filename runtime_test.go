@@ -1,0 +1,149 @@
+package dualcube
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRuntimeConcurrent drives one shared Runtime from many goroutines with
+// a mix of operations and requires every result — outputs and the full
+// Stats — to be byte-identical to the serial run. Checked-out engines are
+// exclusive to one run, the topology and compiled schedules are immutable,
+// so concurrent use must be race-free (the CI race step runs this under
+// -race) and deterministic.
+func TestRuntimeConcurrent(t *testing.T) {
+	const n = 3
+	rt, err := NewRuntime(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Warm()
+	N := rt.Nodes()
+	in := make([]int, N)
+	keys := make([]int, N)
+	for i := range in {
+		in[i] = i*37 + 5
+		keys[i] = N - i
+	}
+
+	// Serial references.
+	wantPrefix, stPrefix, err := PrefixOn(rt, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSort, stSort, err := SortOn(rt, keys, Ascending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReduce, stReduce, err := AllReduceSumOn(rt, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBcast, stBcast, err := BroadcastOn(rt, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(op string, got []int, want []int, st, wantSt Stats) error {
+		if st != wantSt {
+			return fmt.Errorf("%s: stats diverge from serial run:\n  serial:     %+v\n  concurrent: %+v", op, wantSt, st)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("%s: out[%d] = %d, want %d", op, i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+
+	const workers = 8
+	const iters = 4
+	errs := make(chan error, workers*iters)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				var err error
+				switch (w + it) % 4 {
+				case 0:
+					out, st, e := PrefixOn(rt, in)
+					if e != nil {
+						err = e
+						break
+					}
+					err = check("prefix", out, wantPrefix, st, stPrefix)
+				case 1:
+					out, st, e := SortOn(rt, keys, Ascending)
+					if e != nil {
+						err = e
+						break
+					}
+					err = check("sort", out, wantSort, st, stSort)
+				case 2:
+					out, st, e := AllReduceSumOn(rt, in)
+					if e != nil {
+						err = e
+						break
+					}
+					err = check("allreduce", out, wantReduce, st, stReduce)
+				case 3:
+					out, st, e := BroadcastOn(rt, 5, 42)
+					if e != nil {
+						err = e
+						break
+					}
+					err = check("broadcast", out, wantBcast, st, stBcast)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRuntimeSharesCaches checks that independently constructed Runtimes of
+// the same order and the package-default Runtime all share the one cached
+// topology instance.
+func TestRuntimeSharesCaches(t *testing.T) {
+	a, err := NewRuntime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRuntime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.d != b.d {
+		t.Error("two Runtimes of order 4 hold distinct topology instances")
+	}
+	def, err := defaultRuntime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.d != a.d {
+		t.Error("package-default Runtime holds a distinct topology instance")
+	}
+}
+
+// TestRuntimeRejectsBadOrder checks the shared range error surfaces through
+// NewRuntime and the one-shot wrappers alike.
+func TestRuntimeRejectsBadOrder(t *testing.T) {
+	for _, n := range []int{0, -1, 15} {
+		if _, err := NewRuntime(n); err == nil {
+			t.Errorf("NewRuntime(%d): accepted, want error", n)
+		}
+		if _, _, err := Prefix(n, []int{}); err == nil {
+			t.Errorf("Prefix(%d): accepted, want error", n)
+		}
+	}
+}
