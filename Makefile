@@ -11,6 +11,7 @@ build:
 
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/dcvet ./...
 	gofmt -l .
 
 test:

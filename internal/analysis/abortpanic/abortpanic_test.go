@@ -1,0 +1,13 @@
+package abortpanic_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dualcube/internal/analysis/abortpanic"
+	"dualcube/internal/analysis/analysistest"
+)
+
+func TestAbortPanic(t *testing.T) {
+	analysistest.Run(t, abortpanic.Analyzer, filepath.Join("testdata", "src", "abortpanic"))
+}

@@ -1,0 +1,49 @@
+// Fixture for the abortpanic analyzer: raw panics in library code are
+// rejected; Must* wrappers and annotated API-misuse guards are the escapes.
+// (The third escape — panicking a machine.abortPanic value — is unexported
+// and therefore only exercisable inside internal/machine itself, where the
+// repository-wide dcvet run covers it.)
+package fixture
+
+import "fmt"
+
+func badValidate(n int) int {
+	if n < 0 {
+		panic("negative order") // want "raw panic outside the abortPanic protocol"
+	}
+	return n
+}
+
+func badWrapped(err error) {
+	if err != nil {
+		panic(fmt.Errorf("wrapped: %w", err)) // want "raw panic outside the abortPanic protocol"
+	}
+}
+
+func goodValidate(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("fixture: order must be non-negative, got %d", n)
+	}
+	return n, nil
+}
+
+// MustValidate is a documented panicking wrapper: legal without annotation.
+func MustValidate(n int) int {
+	v, err := goodValidate(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+type handle struct{ released bool }
+
+// close is an API-misuse guard with no error channel by design; the
+// annotation keeps it legal and records why.
+func (h *handle) close() {
+	if h.released {
+		//dcvet:allow abortpanic -- double-Release is a caller bug with no error path
+		panic("fixture: handle released twice")
+	}
+	h.released = true
+}

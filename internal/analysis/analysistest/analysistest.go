@@ -1,0 +1,151 @@
+// Package analysistest runs an analyzer over a fixture directory and checks
+// its diagnostics against "// want" comments — the golden-file style of
+// golang.org/x/tools/go/analysis/analysistest, reimplemented over the local
+// driver so the repository stays dependency-free.
+//
+// A fixture is a directory of .go files (conventionally below testdata/src/,
+// where the go tool does not look) forming one package. Each line that should
+// trigger a diagnostic carries a trailing comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// Every listed pattern must match some diagnostic reported on that line, every
+// diagnostic must be claimed by some pattern, and lines without a want comment
+// must stay silent. Fixtures import the repository's real packages, so the
+// analyzers are exercised against the same type information they see in CI.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dualcube/internal/analysis/driver"
+)
+
+// expectation is one want pattern at a file position.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the fixture directory dir (relative to the calling test's package
+// directory), applies the analyzer, and reports any mismatch between the
+// diagnostics and the fixture's want comments as test errors.
+func Run(t *testing.T, a *driver.Analyzer, dir string) {
+	t.Helper()
+	root, err := driver.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := driver.LoadDir(root, dir, "dualcube.fixture/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				if len(patterns) == 0 {
+					t.Fatalf("%s: want comment lists no patterns", pos)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := driver.RunPackage(pkg, []*driver.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d.Position, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line whose
+// pattern matches, reporting whether one was found.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parsePatterns splits `"p1" "p2"` into its quoted segments. Patterns may be
+// double-quoted (escapes interpreted) or backquoted (raw).
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		if s[0] == '`' {
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated pattern in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+			continue
+		}
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		p, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,174 @@
+// Package driver is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis surface this repository's checkers need.
+//
+// The upstream framework is the obvious home for dcvet's analyzers, but this
+// module is deliberately dependency-free (the simulator builds offline with
+// nothing beyond the standard library), so the driver mirrors the upstream
+// API shape — Analyzer, Pass, Diagnostic, Reportf — on top of go/ast,
+// go/types and `go list -export`. Analyzers written against this package port
+// to x/tools by changing one import; see DESIGN.md §5.9.
+//
+// Two deliberate simplifications versus the upstream driver:
+//
+//   - only non-test GoFiles are analyzed (go vet also walks test sources;
+//     the invariants dcvet checks — node-body discipline, Stats merging,
+//     fault-hook purity, the abort protocol — bind library code);
+//   - no cross-package fact propagation: every analyzer here decides from a
+//     single package's syntax and types.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. The fields mirror
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//dcvet:allow <name>" suppression comments.
+	Name string
+	// Doc is the one-paragraph description printed by dcvet -help.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer run with a single package's syntax trees and
+// type information, and collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: an analyzer name, a position and a message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+// String formats the diagnostic the way go vet does, with the analyzer name
+// appended for grep-ability.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// AllowDirective is the comment prefix that suppresses a diagnostic on its
+// line (or the line directly below the comment): "//dcvet:allow <analyzer>".
+// Suppressions are for invariants the checker cannot see — each use in this
+// repository carries a justification after the analyzer name.
+const AllowDirective = "//dcvet:allow"
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Diagnostics on lines carrying a matching
+// AllowDirective comment are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Position, all[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// RunPackage applies the analyzers to one loaded package, honoring
+// AllowDirective suppressions.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	return filterAllowed(pkg, diags), nil
+}
+
+// filterAllowed drops diagnostics whose line (or the line above, for a
+// directive on a comment line of its own) carries "//dcvet:allow <name>".
+func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// allowed[file][line] = set of analyzer names allowed on that line.
+	allowed := make(map[string]map[int][]string)
+	note := func(file string, line int, names []string) {
+		if allowed[file] == nil {
+			allowed[file] = make(map[int][]string)
+		}
+		allowed[file][line] = append(allowed[file][line], names...)
+	}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				// Everything after "--" is justification, not analyzer names.
+				names, _, _ := strings.Cut(rest, "--")
+				pos := pkg.Fset.Position(c.Pos())
+				// The directive covers its own line and the next one, so it
+				// works both trailing a statement and on the line above it.
+				note(pos.Filename, pos.Line, strings.Fields(names))
+				note(pos.Filename, pos.Line+1, strings.Fields(names))
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		names := allowed[d.Position.Filename][d.Position.Line]
+		ok := true
+		for _, n := range names {
+			if n == d.Analyzer {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

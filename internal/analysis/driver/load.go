@@ -1,0 +1,209 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed and type-checked package — the analyzer-facing
+// subset of go/packages.Package.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader resolves and type-checks packages of one module. Imports are
+// satisfied from compiler export data located via `go list -export`, so a
+// Loader needs the go tool on PATH but no third-party machinery; export data
+// for dependencies comes out of the ordinary build cache.
+type Loader struct {
+	root string // module root (directory holding go.mod)
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader returns a Loader rooted at the module directory root.
+func NewLoader(root string) *Loader {
+	l := &Loader{root: root, fset: token.NewFileSet(), exports: make(map[string]string)}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for p := abs; ; {
+		if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+			return p, nil
+		}
+		parent := filepath.Dir(p)
+		if parent == p {
+			return "", fmt.Errorf("driver: no go.mod above %s", abs)
+		}
+		p = parent
+	}
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// list runs `go list -deps -export -json` on patterns at the module root,
+// registering every export file it reports, and returns the listed packages.
+func (l *Loader) list(patterns ...string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	l.mu.Lock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.mu.Unlock()
+	return pkgs, nil
+}
+
+// lookup serves export data to the gc importer, listing a missed path on
+// demand (fixture packages import standard-library packages that are not
+// dependencies of the module proper).
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		if _, err := l.list(path); err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		file, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// check parses and type-checks one package from explicit file paths.
+func (l *Loader) check(pkgPath string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkgPath, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: l.fset, Syntax: syntax, Types: tpkg, TypesInfo: info}, nil
+}
+
+// Load resolves patterns (e.g. "./...") against the module rooted at root and
+// returns the matched packages parsed and type-checked, dependencies excluded.
+// Packages with no non-test Go files (e.g. testdata trees) are skipped.
+func Load(root string, patterns ...string) ([]*Package, error) {
+	l := NewLoader(root)
+	listed, err := l.list(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, gf := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, gf)
+		}
+		pkg, err := l.check(p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package made of every .go file
+// directly under dir (an analysistest fixture directory, typically below
+// testdata/ where the go tool does not look). Imports resolve against the
+// module rooted at root, so fixtures may import this repository's packages.
+func LoadDir(root, dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("driver: no .go files in %s", dir)
+	}
+	l := NewLoader(root)
+	return l.check(pkgPath, files)
+}

@@ -1,0 +1,67 @@
+package driver
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deref returns the pointee type of a pointer, or t itself.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// Named returns the defining object of a (possibly instantiated) named type,
+// or nil. Aliases are resolved first.
+func Named(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// IsNamed reports whether t (after dereferencing one pointer) is the named
+// type `name` declared in a package whose import path ends in pathSuffix.
+// Matching by suffix keeps the analyzers correct under module renames and in
+// analysistest fixtures, which import the real packages.
+func IsNamed(t types.Type, pathSuffix, name string) bool {
+	obj := Named(Deref(t))
+	return obj != nil && obj.Name() == name && FromPath(obj, pathSuffix)
+}
+
+// FromPath reports whether obj is declared in a package whose import path is
+// pathSuffix or ends in "/"+pathSuffix.
+func FromPath(obj types.Object, pathSuffix string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pathSuffix || strings.HasSuffix(path, "/"+pathSuffix)
+}
+
+// PkgFuncCall reports a call of the form pkg.F(...) where pkg is a package
+// qualifier (not a value), returning the imported package path and function
+// name. Method calls — even on types from the same package — do not match, so
+// checks keyed on impure package entry points (time.Now, rand.Intn) stay
+// silent on pure method values like time.Duration.Seconds.
+func PkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, funcName string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	qual, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[qual].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,192 @@
+// Package faultpure checks the purity contract of fault-injection hooks.
+// machine.FaultSpec documents that Drop and Delay must be pure functions of
+// (src, dst, cycle): the engine evaluates them on the send path of whichever
+// worker owns the node that cycle, so any hidden state — a shared PRNG, the
+// wall clock, a mutable global, Go's randomized map iteration order — makes
+// fault decisions depend on worker scheduling and destroys the bit-for-bit
+// reproducibility the differential and golden tests rely on.
+//
+// The analyzer finds functions installed as Drop/Delay hooks (composite
+// literal fields and assignments through a FaultSpec value) and walks their
+// bodies, following calls to same-package functions, rejecting:
+//
+//   - calls into time, math/rand or math/rand/v2;
+//   - reads or writes of package-level variables;
+//   - range over a map (iteration order is deliberately randomized).
+package faultpure
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dualcube/internal/analysis/driver"
+)
+
+// Analyzer is the faultpure checker.
+var Analyzer = &driver.Analyzer{
+	Name: "faultpure",
+	Doc: "report impurity (time/math-rand calls, package-level variable access, " +
+		"map iteration) in functions installed as machine.FaultSpec Drop/Delay hooks",
+	Run: run,
+}
+
+func run(pass *driver.Pass) (any, error) {
+	c := &checker{pass: pass, seen: make(map[*ast.FuncDecl]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				if driver.IsNamed(pass.TypesInfo.TypeOf(x), "internal/machine", "FaultSpec") {
+					for _, elt := range x.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); ok && isHookField(key.Name) {
+							c.checkHook(kv.Value, key.Name)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					if i >= len(x.Rhs) {
+						break
+					}
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || !isHookField(sel.Sel.Name) {
+						continue
+					}
+					if driver.IsNamed(pass.TypesInfo.TypeOf(sel.X), "internal/machine", "FaultSpec") {
+						c.checkHook(x.Rhs[i], sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isHookField(name string) bool { return name == "Drop" || name == "Delay" }
+
+// checker walks hook bodies, recursing into same-package callees once each.
+type checker struct {
+	pass *driver.Pass
+	seen map[*ast.FuncDecl]bool
+	hook string // name of the hook field being verified, for messages
+}
+
+// checkHook verifies the function installed as a hook. A nil hook (clearing
+// the field) is trivially pure; a function value defined in another package
+// cannot be inspected here and is skipped — its own package's run sees the
+// registration site if one exists there.
+func (c *checker) checkHook(fn ast.Expr, field string) {
+	c.hook = field
+	switch v := ast.Unparen(fn).(type) {
+	case *ast.FuncLit:
+		c.checkBody(v.Body)
+	case *ast.Ident, *ast.SelectorExpr:
+		if decl := c.declOf(v); decl != nil {
+			c.checkDecl(decl)
+		}
+	}
+}
+
+// declOf resolves a function-valued expression to its FuncDecl in this
+// package, or nil.
+func (c *checker) declOf(e ast.Expr) *ast.FuncDecl {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[x.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != c.pass.Pkg {
+		return nil
+	}
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Pos() == fn.Pos() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkDecl(fd *ast.FuncDecl) {
+	if c.seen[fd] || fd.Body == nil {
+		return
+	}
+	c.seen[fd] = true
+	c.checkBody(fd.Body)
+}
+
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	pass := c.pass
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(), "%s hook ranges over a map; iteration order is randomized, so fault decisions would differ between runs", c.hook)
+				}
+			}
+		case *ast.CallExpr:
+			if path, name, ok := driver.PkgFuncCall(pass.TypesInfo, x); ok && impurePkg(path) {
+				pass.Reportf(x.Pos(), "%s hook calls %s.%s; hooks must be pure functions of (src, dst, cycle) — derive randomness by hashing the arguments with the plan seed", c.hook, pkgBase(path), name)
+			} else if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				// Methods of math/rand generators (r.Intn on a captured
+				// *rand.Rand) are shared mutable state just like the package
+				// functions; time.Time methods stay legal — the impure entry
+				// point time.Now is already flagged above.
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+					(fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") {
+					pass.Reportf(x.Pos(), "%s hook calls %s.%s; hooks must be pure functions of (src, dst, cycle) — derive randomness by hashing the arguments with the plan seed", c.hook, fn.Pkg().Name(), fn.Name())
+				}
+			}
+			// Follow same-package callees so impurity hidden one call deep
+			// (the typical "helper that rolls the dice" shape) is found.
+			if decl := c.declOf(x.Fun); decl != nil {
+				c.checkDecl(decl)
+			}
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok && isPackageVar(v) {
+				pass.Reportf(x.Pos(), "%s hook accesses package-level variable %s; hooks must be pure functions of (src, dst, cycle)", c.hook, v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// impurePkg reports whether path is one of the packages whose entry points
+// make a hook non-reproducible.
+func impurePkg(path string) bool {
+	switch path {
+	case "time", "math/rand", "math/rand/v2":
+		return true
+	}
+	return false
+}
+
+// pkgBase returns the package name element of an import path, for messages
+// (math/rand/v2 reads "rand", matching how call sites qualify it).
+func pkgBase(path string) string {
+	path = strings.TrimSuffix(path, "/v2")
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isPackageVar reports whether v is a package-level variable (of any package:
+// globals in the hook's own package are as stateful as foreign ones).
+func isPackageVar(v *types.Var) bool {
+	if v.IsField() || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}

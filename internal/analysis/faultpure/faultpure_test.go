@@ -1,0 +1,13 @@
+package faultpure_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dualcube/internal/analysis/analysistest"
+	"dualcube/internal/analysis/faultpure"
+)
+
+func TestFaultPure(t *testing.T) {
+	analysistest.Run(t, faultpure.Analyzer, filepath.Join("testdata", "src", "faultpure"))
+}

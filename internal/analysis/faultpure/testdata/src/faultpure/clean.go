@@ -1,0 +1,36 @@
+package fixture
+
+import (
+	"math/rand"
+
+	"dualcube/internal/machine"
+)
+
+const dropThreshold = 0.25
+
+// splitmix is a pure hash: randomness derived from the arguments alone, the
+// pattern internal/fault uses for reproducible transient faults.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func cleanSpec(seed uint64) *machine.FaultSpec {
+	return &machine.FaultSpec{
+		Drop: func(src, dst, cycle int) bool {
+			h := splitmix(seed ^ uint64(src)<<40 ^ uint64(dst)<<20 ^ uint64(cycle))
+			return float64(h%1000)/1000 < dropThreshold
+		},
+		Delay: func(src, dst, cycle int) int {
+			return int(splitmix(seed^uint64(src*31+dst)) % 3)
+		},
+	}
+}
+
+// Using math/rand outside a hook — to pick the fault plan itself, say — is
+// not the analyzer's business.
+func cleanPlanPicker(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,59 @@
+// Fixture for the faultpure analyzer: functions installed as FaultSpec
+// Drop/Delay hooks must be pure functions of (src, dst, cycle).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"dualcube/internal/machine"
+)
+
+var flaky = map[int]bool{3: true}
+
+var callCount int
+
+func badSpec() *machine.FaultSpec {
+	return &machine.FaultSpec{
+		Drop: func(src, dst, cycle int) bool {
+			return rand.Float64() < 0.5 // want `Drop hook calls rand.Float64`
+		},
+		Delay: func(src, dst, cycle int) int {
+			if time.Now().UnixNano()%2 == 0 { // want `Delay hook calls time.Now`
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+func badGlobalSpec() *machine.FaultSpec {
+	s := &machine.FaultSpec{}
+	s.Drop = func(src, dst, cycle int) bool {
+		callCount++ // want `Drop hook accesses package-level variable callCount`
+		return false
+	}
+	return s
+}
+
+func badMapSpec() *machine.FaultSpec {
+	return &machine.FaultSpec{
+		Drop: func(src, dst, cycle int) bool {
+			for n := range flaky { // want `Drop hook accesses package-level variable flaky` "Drop hook ranges over a map"
+				if n == src {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// Impurity hidden one call deep in a same-package helper is still found.
+func rollDice(src, dst, cycle int) bool {
+	return rand.Intn(2) == 0 // want `Drop hook calls rand.Intn`
+}
+
+func badIndirectSpec() *machine.FaultSpec {
+	return &machine.FaultSpec{Drop: rollDice}
+}

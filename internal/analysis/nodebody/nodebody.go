@@ -1,0 +1,123 @@
+// Package nodebody checks the SPMD discipline of node programs: any function
+// taking a *machine.Ctx parameter runs on a simulated node under the stepped
+// scheduler, where every node must advance the global clock in lockstep
+// through Ctx primitives alone. Spawning a goroutine, sleeping or reading the
+// wall clock, or touching raw channels from a node body either deadlocks the
+// W-party sense barrier (a parked coroutine the barrier never hears from) or
+// skews the cycle accounting the paper's cost model depends on.
+package nodebody
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dualcube/internal/analysis/driver"
+)
+
+// Analyzer is the nodebody checker.
+var Analyzer = &driver.Analyzer{
+	Name: "nodebody",
+	Doc: "report goroutine spawns, time package calls and raw channel operations " +
+		"inside functions taking a *machine.Ctx (node programs must drive the " +
+		"clock through Ctx primitives only)",
+	Run: run,
+}
+
+func run(pass *driver.Pass) (any, error) {
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body != nil && takesCtx(pass, ft) {
+				checkBody(pass, body, reported)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// takesCtx reports whether the function type has a *machine.Ctx[...] param.
+func takesCtx(pass *driver.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr && driver.IsNamed(tv.Type, "internal/machine", "Ctx") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody walks one node body, nested closures included — a closure defined
+// inside a node program executes on the node's coroutine too.
+func checkBody(pass *driver.Pass, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			report(x.Pos(), "node body spawns a goroutine; node programs run on scheduler-owned coroutines and must not create concurrency")
+		case *ast.SelectStmt:
+			report(x.Pos(), "node body uses select; communicate through Ctx primitives, not raw channels")
+		case *ast.SendStmt:
+			report(x.Pos(), "node body sends on a raw channel; use Ctx.Send/Exchange so the cycle is accounted and the barrier stays in lockstep")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				report(x.Pos(), "node body receives from a raw channel; use Ctx.Recv/Exchange so the cycle is accounted and the barrier stays in lockstep")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, x, report)
+		}
+		return true
+	})
+}
+
+// checkCall flags time package calls and channel builtins.
+func checkCall(pass *driver.Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[fun]
+		if b, ok := obj.(*types.Builtin); ok {
+			switch b.Name() {
+			case "close":
+				if len(call.Args) == 1 {
+					if t := pass.TypesInfo.TypeOf(call.Args[0]); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							report(call.Pos(), "node body closes a raw channel; node programs must not manage channels")
+						}
+					}
+				}
+			case "make":
+				if t := pass.TypesInfo.TypeOf(call); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						report(call.Pos(), "node body makes a raw channel; node programs must not manage channels")
+					}
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if path, name, ok := driver.PkgFuncCall(pass.TypesInfo, call); ok && path == "time" {
+			report(call.Pos(), "node body calls time.%s; simulated time is the engine's clock, and wall-clock calls desynchronize or stall the sense barrier", name)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package nodebody_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dualcube/internal/analysis/analysistest"
+	"dualcube/internal/analysis/nodebody"
+)
+
+func TestNodeBody(t *testing.T) {
+	analysistest.Run(t, nodebody.Analyzer, filepath.Join("testdata", "src", "nodebody"))
+}

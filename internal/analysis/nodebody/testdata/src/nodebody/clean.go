@@ -1,0 +1,32 @@
+package fixture
+
+import (
+	"time"
+
+	"dualcube/internal/machine"
+)
+
+// A proper node program: communicates through Ctx primitives only.
+func cleanProgram(c *machine.Ctx[int]) {
+	v := c.Exchange(c.ID()^1, c.ID())
+	c.Ops(1)
+	c.Send(c.ID()^1, v)
+	c.Idle()
+}
+
+// Functions without a Ctx parameter are outside the discipline: the harness
+// around the engine may use goroutines, channels and timers freely.
+func cleanHarness(run func(c *machine.Ctx[int])) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(time.Millisecond)
+	}()
+	<-done
+}
+
+// Using the time package for types (not calls) in a node body is fine.
+func cleanTypeUse(c *machine.Ctx[int], budget time.Duration) time.Duration {
+	c.Idle()
+	return budget
+}

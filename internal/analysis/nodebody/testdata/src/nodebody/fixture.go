@@ -1,0 +1,46 @@
+// Fixture for the nodebody analyzer: node programs (functions taking a
+// *machine.Ctx) must not spawn goroutines, consult the wall clock, or touch
+// raw channels.
+package fixture
+
+import (
+	"time"
+
+	"dualcube/internal/machine"
+)
+
+func badGoroutine(c *machine.Ctx[int]) {
+	go func() { // want "spawns a goroutine"
+		c.Idle()
+	}()
+}
+
+func badTime(c *machine.Ctx[int]) {
+	time.Sleep(time.Millisecond) // want "calls time.Sleep"
+	_ = time.Now()               // want "calls time.Now"
+	c.Idle()
+}
+
+func badChannels(c *machine.Ctx[int], ch chan int) {
+	done := make(chan struct{}) // want "makes a raw channel"
+	ch <- c.ID()                // want "sends on a raw channel"
+	<-ch                        // want "receives from a raw channel"
+	select {                    // want "uses select"
+	default:
+	}
+	close(done) // want "closes a raw channel"
+}
+
+// Violations inside a closure defined in a node body are still violations:
+// the closure runs on the node's coroutine.
+func badNested(c *machine.Ctx[int]) {
+	helper := func() {
+		time.Sleep(time.Second) // want "calls time.Sleep"
+	}
+	helper()
+}
+
+// A generic node program is a node program.
+func badGeneric[T any](c *machine.Ctx[T]) {
+	go func() {}() // want "spawns a goroutine"
+}

@@ -1,0 +1,13 @@
+package statsadd_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dualcube/internal/analysis/analysistest"
+	"dualcube/internal/analysis/statsadd"
+)
+
+func TestStatsAdd(t *testing.T) {
+	analysistest.Run(t, statsadd.Analyzer, filepath.Join("testdata", "src", "statsadd"))
+}

@@ -1,0 +1,32 @@
+package fixture
+
+import "dualcube/internal/machine"
+
+// The sanctioned merge.
+func cleanAdd(a, b machine.Stats) machine.Stats {
+	return a.Add(b)
+}
+
+// Scalar adjustments of a single Stats value are not merges: the right-hand
+// side is not another phase's field.
+func cleanScalar(st machine.Stats, rounds int) machine.Stats {
+	st.MaxOps++
+	st.MaxOps += rounds
+	st.TotalOps += int64(rounds)
+	return st
+}
+
+// Arithmetic between different fields (a derived metric, not a merge).
+func cleanDerived(st machine.Stats) int {
+	return st.Cycles + st.MaxOps
+}
+
+// Reading fields into plain variables and summing those is fine too — the
+// analyzer targets the two-phase merge shape, not all Stats arithmetic.
+func cleanProjection(sts []machine.Stats) int64 {
+	var msgs int64
+	for _, st := range sts {
+		msgs += st.Messages
+	}
+	return msgs
+}

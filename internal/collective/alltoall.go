@@ -47,7 +47,10 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 		}
 	}
 	m := d.ClusterDim()
-	sch := dcomm.Compiled(d, dcomm.OpAllToAll)
+	sch, err := dcomm.Compiled(d, dcomm.OpAllToAll)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	fieldMask := d.ClusterSize() - 1
 
 	// key is the within-cluster routing target of an item at a node of the
@@ -64,6 +67,7 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 	for j := range out {
 		out[j] = make([]T, N)
 	}
+	errs := make([]error, N)
 	eng, err := machine.New[[]pkt[T]](d, machine.Config{})
 	if err != nil {
 		return nil, machine.Stats{}, err
@@ -112,24 +116,38 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 			case d.CrossNeighbor(u):
 				send = append(send, p)
 			default:
-				panic(fmt.Sprintf("collective: all-to-all item (%d->%d) stranded at node %d", p.src, p.dst, u))
+				// A misrouted item means the routing keys disagree with the
+				// topology; record it and drop the item — the count check
+				// below fails too, and the run reports the first error.
+				if errs[u] == nil {
+					errs[u] = fmt.Errorf("collective: all-to-all item (%d->%d) stranded at node %d", p.src, p.dst, u)
+				}
 			}
 		}
 		got := x.Exchange(send)
 		buf = append(keep, got...)
 
 		if len(buf) != N {
-			panic(fmt.Sprintf("collective: node %d received %d of %d items", u, len(buf), N))
+			if errs[u] == nil {
+				errs[u] = fmt.Errorf("collective: node %d received %d of %d items", u, len(buf), N)
+			}
+			return
 		}
 		row := out[myIdx]
 		for _, p := range buf {
 			if p.dst != myIdx {
-				panic(fmt.Sprintf("collective: node %d holds foreign item for %d", u, p.dst))
+				if errs[u] == nil {
+					errs[u] = fmt.Errorf("collective: node %d holds foreign item for %d", u, p.dst)
+				}
+				continue
 			}
 			row[p.src] = p.val
 		}
 	})
 	if err != nil {
+		return nil, st, err
+	}
+	if err := firstErr(errs); err != nil {
 		return nil, st, err
 	}
 	return out, st, nil

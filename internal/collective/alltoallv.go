@@ -34,7 +34,10 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 		}
 	}
 	m := d.ClusterDim()
-	sch := dcomm.Compiled(d, dcomm.OpAllToAll)
+	sch, err := dcomm.Compiled(d, dcomm.OpAllToAll)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	fieldMask := d.ClusterSize() - 1
 	key := func(class int, dstNode topology.NodeID) int {
 		if class == 0 {
@@ -47,6 +50,7 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 	for j := range out {
 		out[j] = make([][]T, N)
 	}
+	errs := make([]error, N)
 	eng, err := machine.New[[]vpkt[T]](d, machine.Config{})
 	if err != nil {
 		return nil, machine.Stats{}, err
@@ -94,24 +98,35 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 			case d.CrossNeighbor(u):
 				send = append(send, p)
 			default:
-				panic(fmt.Sprintf("collective: all-to-all-v bundle (%d->%d) stranded at node %d", p.src, p.dst, u))
+				if errs[u] == nil {
+					errs[u] = fmt.Errorf("collective: all-to-all-v bundle (%d->%d) stranded at node %d", p.src, p.dst, u)
+				}
 			}
 		}
 		got := x.Exchange(send)
 		buf = append(keep, got...)
 
 		if len(buf) != N {
-			panic(fmt.Sprintf("collective: node %d received %d of %d bundles", u, len(buf), N))
+			if errs[u] == nil {
+				errs[u] = fmt.Errorf("collective: node %d received %d of %d bundles", u, len(buf), N)
+			}
+			return
 		}
 		row := out[myIdx]
 		for _, p := range buf {
 			if p.dst != myIdx {
-				panic(fmt.Sprintf("collective: node %d holds foreign bundle for %d", u, p.dst))
+				if errs[u] == nil {
+					errs[u] = fmt.Errorf("collective: node %d holds foreign bundle for %d", u, p.dst)
+				}
+				continue
 			}
 			row[p.src] = p.vals
 		}
 	})
 	if err != nil {
+		return nil, st, err
+	}
+	if err := firstErr(errs); err != nil {
 		return nil, st, err
 	}
 	return out, st, nil

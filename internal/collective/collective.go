@@ -47,12 +47,16 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
 	}
 	m := d.ClusterDim()
-	sch := dcomm.Compiled(d, dcomm.OpBroadcast)
+	sch, err := dcomm.Compiled(d, dcomm.OpBroadcast)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	rootClass := d.Class(root)
 	rootCluster := d.ClusterID(root)
 	rootLocal := d.LocalID(root)
 
 	out := make([]T, d.Nodes())
+	errs := make([]error, d.Nodes())
 	eng, err := machine.New[T](d, machine.Config{})
 	if err != nil {
 		return nil, machine.Stats{}, err
@@ -137,11 +141,15 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 		}
 
 		if !have {
-			panic(fmt.Sprintf("collective: node %d did not receive the broadcast", u))
+			errs[u] = fmt.Errorf("collective: node %d did not receive the broadcast", u)
+			return
 		}
 		out[u] = v
 	})
 	if err != nil {
+		return nil, st, err
+	}
+	if err := firstErr(errs); err != nil {
 		return nil, st, err
 	}
 	return out, st, nil
@@ -164,7 +172,10 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 		return nil, machine.Stats{}, err
 	}
 	mdim := d.ClusterDim()
-	sch := dcomm.Compiled(d, dcomm.OpAllReduce)
+	sch, err := dcomm.Compiled(d, dcomm.OpAllReduce)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	out := make([]T, d.Nodes())
 	eng, err := machine.New[T](d, machine.Config{})
 	if err != nil {
@@ -258,4 +269,18 @@ func nodesOf(n int) int {
 		return -1
 	}
 	return 1 << (2*n - 1)
+}
+
+// firstErr returns the lowest-numbered node's recorded delivery-verification
+// error, or nil. Node programs record failures into a per-node slot (their
+// own index, so no synchronization is needed) and keep walking the schedule,
+// preserving the SPMD lockstep; the host reports the failure deterministically
+// after the run, regardless of worker interleaving.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

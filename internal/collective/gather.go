@@ -57,12 +57,16 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
 	}
 	m := d.ClusterDim()
-	sch := dcomm.Compiled(d, dcomm.OpGather)
+	sch, err := dcomm.Compiled(d, dcomm.OpGather)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	rootClass := d.Class(root)
 	rootCluster := d.ClusterID(root)
 	rootLocal := d.LocalID(root)
 
 	out := make([]T, d.Nodes())
+	errs := make([]error, d.Nodes())
 	eng, err := machine.New[[]item[T]](d, machine.Config{LinkCapacity: 4})
 	if err != nil {
 		return nil, machine.Stats{}, err
@@ -163,7 +167,8 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 
 		if u == root {
 			if len(bundle) != d.Nodes() {
-				panic(fmt.Sprintf("collective: gather delivered %d of %d items", len(bundle), d.Nodes()))
+				errs[u] = fmt.Errorf("collective: gather delivered %d of %d items", len(bundle), d.Nodes())
+				return
 			}
 			for _, it := range bundle {
 				out[it.idx] = it.val
@@ -171,6 +176,9 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 		}
 	})
 	if err != nil {
+		return nil, st, err
+	}
+	if err := firstErr(errs); err != nil {
 		return nil, st, err
 	}
 	return out, st, nil

@@ -43,12 +43,16 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
 	}
 	m := d.ClusterDim()
-	sch := dcomm.Compiled(d, dcomm.OpScatter)
+	sch, err := dcomm.Compiled(d, dcomm.OpScatter)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	rootClass := d.Class(root)
 	rootCluster := d.ClusterID(root)
 	rootLocal := d.LocalID(root)
 
 	out := make([]T, d.Nodes())
+	errs := make([]error, d.Nodes())
 	eng, err := machine.New[[]item[T]](d, machine.Config{})
 	if err != nil {
 		return nil, machine.Stats{}, err
@@ -156,11 +160,15 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 		}
 
 		if len(bundle) != 1 || destNode(bundle[0]) != u {
-			panic(fmt.Sprintf("collective: scatter delivered %d item(s) to node %d", len(bundle), u))
+			errs[u] = fmt.Errorf("collective: scatter delivered %d item(s) to node %d", len(bundle), u)
+			return
 		}
 		out[u] = bundle[0].val
 	})
 	if err != nil {
+		return nil, st, err
+	}
+	if err := firstErr(errs); err != nil {
 		return nil, st, err
 	}
 	return out, st, nil
@@ -177,7 +185,10 @@ func AllGather[T any](n int, in []T) ([][]T, machine.Stats, error) {
 		return nil, machine.Stats{}, err
 	}
 	m := d.ClusterDim()
-	sch := dcomm.Compiled(d, dcomm.OpAllGather)
+	sch, err := dcomm.Compiled(d, dcomm.OpAllGather)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	out := make([][]T, d.Nodes())
 	eng, err := machine.New[[]item[T]](d, machine.Config{})
 	if err != nil {

@@ -109,7 +109,7 @@ func TestRewriteFTAnnotations(t *testing.T) {
 		{U: 0, V: d.ClusterNeighbor(0, 1)},
 		{U: 5, V: d.CrossNeighbor(5)},
 	}}
-	sch, err := RewriteFT(Compiled(d, OpPrefix), fault.NewView(d, plan))
+	sch, err := RewriteFT(MustCompiled(d, OpPrefix), fault.NewView(d, plan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestRewriteFTAnnotations(t *testing.T) {
 			}
 		}
 	}
-	if want := Compiled(d, OpPrefix).CommSteps() + sch.RepairCycles; st.Cycles != want {
+	if want := MustCompiled(d, OpPrefix).CommSteps() + sch.RepairCycles; st.Cycles != want {
 		t.Errorf("cycles = %d, want %d", st.Cycles, want)
 	}
 }
@@ -164,7 +164,7 @@ func TestRewriteFTAnnotations(t *testing.T) {
 // schedule itself, unannotated and uncopied.
 func TestRewriteFTClean(t *testing.T) {
 	d := topology.MustDualCube(3)
-	base := Compiled(d, OpPrefix)
+	base := MustCompiled(d, OpPrefix)
 	sch, err := RewriteFT(base, fault.NewView(d, nil))
 	if err != nil {
 		t.Fatal(err)

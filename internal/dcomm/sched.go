@@ -74,23 +74,41 @@ var schedCache [topology.MaxDualCubeOrder + 1][opCount]atomic.Pointer[machine.Sc
 
 // Compiled returns the cached fault-free schedule of op on d, building it on
 // first use. The returned Schedule is shared and must not be mutated; use
-// RewriteFT to derive a fault-annotated variant.
-func Compiled(d *topology.DualCube, op Op) *machine.Schedule {
+// RewriteFT to derive a fault-annotated variant. An error means op names no
+// schedule-compiled operation (a value outside the Op enum); nothing is
+// cached in that case.
+func Compiled(d *topology.DualCube, op Op) (*machine.Schedule, error) {
+	if op >= opCount {
+		return nil, fmt.Errorf("dcomm: no schedule builder for %s", op)
+	}
 	slot := &schedCache[d.Order()][op]
 	if sch := slot.Load(); sch != nil {
-		return sch
+		return sch, nil
 	}
-	sch := buildSchedule(d, op)
+	sch, err := buildSchedule(d, op)
+	if err != nil {
+		return nil, err
+	}
 	if slot.CompareAndSwap(nil, sch) {
-		return sch
+		return sch, nil
 	}
-	return slot.Load()
+	return slot.Load(), nil
+}
+
+// MustCompiled is Compiled, panicking on error. Intended for tests and
+// examples where op is a literal enum value.
+func MustCompiled(d *topology.DualCube, op Op) *machine.Schedule {
+	sch, err := Compiled(d, op)
+	if err != nil {
+		panic(err)
+	}
+	return sch
 }
 
 // buildSchedule lays out the cluster-technique skeleton of op on d. The
 // pattern id of a step is its cluster dimension, or ClusterDim(d) for the
 // cross matching — steps with equal pattern use the identical matching.
-func buildSchedule(d *topology.DualCube, op Op) *machine.Schedule {
+func buildSchedule(d *topology.DualCube, op Op) (*machine.Schedule, error) {
 	m := d.ClusterDim()
 	sch := &machine.Schedule{Name: fmt.Sprintf("%s/%s", op, d.Name()), D: d}
 	cluster := func(dim int) {
@@ -136,10 +154,10 @@ func buildSchedule(d *topology.DualCube, op Op) *machine.Schedule {
 		cross()
 		ascend()
 	default:
-		panic(fmt.Sprintf("dcomm: no schedule builder for %s", op))
+		return nil, fmt.Errorf("dcomm: no schedule builder for %s", op)
 	}
 	sch.Finalize()
-	return sch
+	return sch, nil
 }
 
 // RewriteFT derives the degraded-mode variant of a compiled schedule under a

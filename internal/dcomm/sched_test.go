@@ -1,0 +1,45 @@
+package dcomm
+
+import (
+	"strings"
+	"testing"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// TestCompiledUnknownOp checks that an out-of-enum operation surfaces as a
+// returned error — not a panic, and not a cache slot index crash.
+func TestCompiledUnknownOp(t *testing.T) {
+	d := topology.MustDualCube(3)
+	for _, op := range []Op{OpEnd, Op(200)} {
+		sch, err := Compiled(d, op)
+		if err == nil {
+			t.Fatalf("Compiled(d, %d) = %v, want error", uint8(op), sch)
+		}
+		if !strings.Contains(err.Error(), "no schedule builder") {
+			t.Errorf("Compiled(d, %d) error = %q, want mention of missing builder", uint8(op), err)
+		}
+	}
+}
+
+// TestCompiledAllOps checks every enum operation compiles, is cached (the
+// second call returns the identical pointer) and is finalized.
+func TestCompiledAllOps(t *testing.T) {
+	d := topology.MustDualCube(3)
+	for op := OpPrefix; op < OpEnd; op++ {
+		sch, err := Compiled(d, op)
+		if err != nil {
+			t.Fatalf("Compiled(d, %s): %v", op, err)
+		}
+		again, err := Compiled(d, op)
+		if err != nil || again != sch {
+			t.Errorf("Compiled(d, %s) second call = (%p, %v), want cached %p", op, again, err, sch)
+		}
+		for i := range sch.Steps {
+			if st := &sch.Steps[i]; st.Kind != machine.StepLocalCombine && st.Partners() == nil {
+				t.Errorf("%s step %d not finalized", sch.Name, i)
+			}
+		}
+	}
+}

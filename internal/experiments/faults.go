@@ -57,7 +57,11 @@ func FaultSweep(minN, maxN int, seed int64) ([]FaultSweepPoint, error) {
 					break
 				}
 			}
-			sch, err := dcomm.RewriteFT(dcomm.Compiled(d, dcomm.OpPrefix), fault.NewView(d, plan))
+			base, err := dcomm.Compiled(d, dcomm.OpPrefix)
+			if err != nil {
+				return nil, fmt.Errorf("E18 n=%d f=%d: %w", n, f, err)
+			}
+			sch, err := dcomm.RewriteFT(base, fault.NewView(d, plan))
 			if err != nil {
 				return nil, fmt.Errorf("E18 n=%d f=%d: %w", n, f, err)
 			}

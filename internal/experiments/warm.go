@@ -179,7 +179,10 @@ func E20ColdVsWarm(minN, maxN, runs int, cold ColdProbe, warm WarmProbe) (string
 		if p.Exact {
 			src = "fresh process"
 		}
-		sch := dcomm.Compiled(d, dcomm.OpPrefix)
+		sch, err := dcomm.Compiled(d, dcomm.OpPrefix)
+		if err != nil {
+			return "", err
+		}
 		t.row(itoa(p.N), itoa(p.Nodes), itoa(p.Runs), i64toa(p.ColdNs), i64toa(p.WarmNs),
 			fmt.Sprintf("%.1fx", p.Speedup), src, fmt.Sprintf("%s (%d steps)", sch.Name, len(sch.Steps)))
 	}

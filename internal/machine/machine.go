@@ -238,6 +238,7 @@ func (a Stats) Add(b Stats) Stats {
 	if nodes == 0 {
 		nodes = b.Nodes
 	} else if b.Nodes != 0 && b.Nodes != nodes {
+		//dcvet:allow abortpanic -- combining mismatched machines is a caller bug; Add is a value method with no error channel
 		panic(fmt.Sprintf("machine: Stats.Add combining phases of different machines (%d vs %d nodes)", a.Nodes, b.Nodes))
 	}
 	return Stats{
@@ -467,6 +468,7 @@ func MustNew[T any](t topology.Topology, cfg Config) *Engine[T] {
 // unwinds its parked node coroutines), it just cannot be recycled.
 func (e *Engine[T]) Release() {
 	if e.released {
+		//dcvet:allow abortpanic -- double-Release is a caller bug with no error path by design
 		panic("machine: Engine.Release called twice")
 	}
 	// Never recycle an engine whose links may hold residue: a failed run
@@ -573,6 +575,7 @@ func (e *Engine[T]) Run(program func(c *Ctx[T])) (Stats, error) {
 // run is the engine core shared by Run and RunRecorded.
 func (e *Engine[T]) run(program func(c *Ctx[T]), onSend func(c *Ctx[T], dst int)) (Stats, error) {
 	if e.released {
+		//dcvet:allow abortpanic -- use-after-Release is a caller bug with no error path by design
 		panic("machine: Engine used after Release")
 	}
 	// The body below only touches the inner engineState, so without this

@@ -1,8 +1,6 @@
 package machine
 
 import (
-	"fmt"
-
 	"dualcube/internal/topology"
 )
 
@@ -89,6 +87,17 @@ type Step struct {
 	partners []int32
 	links    []int32
 }
+
+// Partners exposes the finalized partner table (partners[u] = u's partner in
+// this step's matching), or nil if the schedule was not finalized. The slice
+// is the step's own table, not a copy — callers such as the static schedule
+// verifier must treat it as read-only.
+func (s *Step) Partners() []int32 { return s.partners }
+
+// LinkIndexes exposes the finalized link table (links[u] = the partner's
+// position in u's ascending neighbor row), or nil if the schedule was not
+// finalized. Read-only, like Partners.
+func (s *Step) LinkIndexes() []int32 { return s.links }
 
 // Schedule is the compiled cluster-technique skeleton of one operation on
 // one D_n, built once and cached per (order, operation) by internal/dcomm.
@@ -200,7 +209,7 @@ func (x *Exec[T]) Dim() int { return x.step().Dim }
 
 func (x *Exec[T]) step() *Step {
 	if x.pos >= len(x.sch.Steps) {
-		panic(fmt.Sprintf("machine: schedule %s over-run at step %d", x.sch.Name, x.pos))
+		x.c.failf("schedule %s over-run at step %d", x.sch.Name, x.pos)
 	}
 	return &x.sch.Steps[x.pos]
 }
@@ -216,7 +225,8 @@ func (x *Exec[T]) partner(s *Step) int {
 	case StepCrossHop:
 		return x.sch.D.CrossNeighbor(x.c.ID())
 	default:
-		panic(fmt.Sprintf("machine: schedule %s step %d (%s) has no partner", x.sch.Name, x.pos, s.Kind))
+		x.c.failf("schedule %s step %d (%s) has no partner", x.sch.Name, x.pos, s.Kind)
+		return -1 // unreachable: failf aborts the run
 	}
 }
 
@@ -309,7 +319,7 @@ func (x *Exec[T]) Idle() {
 func (x *Exec[T]) LocalOps(k int) {
 	s := x.step()
 	if s.Kind != StepLocalCombine {
-		panic(fmt.Sprintf("machine: schedule %s step %d is %s, not localCombine", x.sch.Name, x.pos, s.Kind))
+		x.c.failf("schedule %s step %d is %s, not localCombine", x.sch.Name, x.pos, s.Kind)
 	}
 	if k > 0 {
 		x.c.Ops(k)

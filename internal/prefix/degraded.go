@@ -50,7 +50,11 @@ func DPrefixDegraded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, p
 		}
 	}
 
-	sch, err := dcomm.RewriteFT(dcomm.Compiled(d, dcomm.OpPrefix), fault.NewView(d, plan))
+	base, err := dcomm.Compiled(d, dcomm.OpPrefix)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	sch, err := dcomm.RewriteFT(base, fault.NewView(d, plan))
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}

@@ -39,7 +39,7 @@ func TestDPrefixDegradedSweep(t *testing.T) {
 				if st.Faults.DownLinks != 2*f {
 					t.Errorf("n=%d f=%d: Stats.Faults.DownLinks = %d, want %d", n, f, st.Faults.DownLinks, 2*f)
 				}
-				sch, err := dcomm.RewriteFT(dcomm.Compiled(d, dcomm.OpPrefix), fault.NewView(d, plan))
+				sch, err := dcomm.RewriteFT(dcomm.MustCompiled(d, dcomm.OpPrefix), fault.NewView(d, plan))
 				if err != nil {
 					t.Fatalf("n=%d f=%d: rewrite: %v", n, f, err)
 				}

@@ -29,7 +29,10 @@ func DPrefixLarge[T any](n, k int, in []T, m monoid.Monoid[T], inclusive bool) (
 		return nil, machine.Stats{}, fmt.Errorf("prefix: input length %d != k*N = %d", len(in), k*d.Nodes())
 	}
 	mdim := d.ClusterDim()
-	sch := dcomm.Compiled(d, dcomm.OpPrefix)
+	sch, err := dcomm.Compiled(d, dcomm.OpPrefix)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	out := make([]T, len(in))
 
 	eng, err := machine.New[T](d, machine.Config{})

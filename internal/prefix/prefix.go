@@ -167,13 +167,17 @@ func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace
 		}
 	}
 
+	sch, err := dcomm.Compiled(d, dcomm.OpPrefix)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	out := make([]T, len(in))
 	eng, err := machine.New[T](d, machine.Config{})
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
 	defer eng.Release()
-	st, err := eng.Run(dprefixProgram(d, dcomm.Compiled(d, dcomm.OpPrefix), in, m, inclusive, out, snap))
+	st, err := eng.Run(dprefixProgram(d, sch, in, m, inclusive, out, snap))
 	if err != nil {
 		return nil, st, err
 	}
@@ -188,13 +192,17 @@ func DPrefixRecorded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool) (
 	if err != nil {
 		return nil, machine.Stats{}, nil, err
 	}
+	sch, err := dcomm.Compiled(d, dcomm.OpPrefix)
+	if err != nil {
+		return nil, machine.Stats{}, nil, err
+	}
 	out := make([]T, len(in))
 	eng, err := machine.New[T](d, machine.Config{})
 	if err != nil {
 		return nil, machine.Stats{}, nil, err
 	}
 	defer eng.Release()
-	st, rec, err := eng.RunRecorded(dprefixProgram(d, dcomm.Compiled(d, dcomm.OpPrefix), in, m, inclusive, out, func(int, int, T, T) {}))
+	st, rec, err := eng.RunRecorded(dprefixProgram(d, sch, in, m, inclusive, out, func(int, int, T, T) {}))
 	if err != nil {
 		return nil, st, nil, err
 	}

@@ -1,0 +1,416 @@
+// Package schedcheck statically verifies compiled communication schedules
+// against the paper's structural invariants — without running the machine.
+// Where the simulator exercises one (input, seed) point per test, the checker
+// walks every step of every schedule dcomm.Compiled can produce and proves
+// table-level properties that hold for all runs:
+//
+//   - partner tables are involutions: every exchange step is a perfect
+//     matching, so the 1-port model is respected (at most one link per node
+//     per step) and SendRecv pairs agree;
+//   - cluster steps pair along the declared cluster dimension and stay inside
+//     a class; the cross step pairs each node with its opposite-class twin;
+//   - link indexes point at the partner inside the node's ascending neighbor
+//     row, so the interpreter's table fast path and the engine's CSR rows name
+//     the same wire;
+//   - the prefix schedule fits Theorem 1: 2n communication steps plus one
+//     local combine, total 2n+1;
+//   - fault rewrites (dcomm.RewriteFT) annotate exactly the severed pairs of
+//     each matching, repair them over alive simple detours of at most 7 hops
+//     (for f <= n-1 faults), and account RepairCycles exactly.
+//
+// cmd/dcvet runs Verify over n = 2..7 alongside the source analyzers, making
+// "every schedule the runtime can compile is well-formed" part of vetting.
+package schedcheck
+
+import (
+	"fmt"
+
+	"dualcube/internal/dcomm"
+	"dualcube/internal/fault"
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// maxDetourHops bounds a repair path under f <= n-1 link faults. A severed
+// cluster link has m-1 alternate in-cluster detours of 3 hops (flip another
+// cluster dimension, the severed one, flip back). A severed cross link is the
+// hard case: a detour must cross between classes three times (a class-0
+// segment only moves field part I, a class-1 segment only part II, so the
+// class bit needs crossings and each field excursion needs undoing), making
+// its shortest detour exactly 7 hops — also the exact length for D_2, which
+// is an 8-ring whose only detour is the long way around. The checker enforces
+// 7 as the ceiling across the verified fault battery; Theorem 2's claim that
+// degraded-mode overhead stays a constant number of cycles per fault rests on
+// this not regressing.
+const maxDetourHops = 7
+
+// Check compiles op on d and verifies the fault-free schedule's structure.
+func Check(d *topology.DualCube, op dcomm.Op) error {
+	sch, err := dcomm.Compiled(d, op)
+	if err != nil {
+		return err
+	}
+	if err := CheckSchedule(sch, d, op); err != nil {
+		return err
+	}
+	if sch.RepairCycles != 0 {
+		return fmt.Errorf("schedcheck: %s: fault-free schedule has RepairCycles %d", sch.Name, sch.RepairCycles)
+	}
+	for i := range sch.Steps {
+		if s := &sch.Steps[i]; s.Broken != nil || s.Detours != nil {
+			return fmt.Errorf("schedcheck: %s step %d: fault-free schedule carries fault annotations", sch.Name, i)
+		}
+	}
+	return nil
+}
+
+// stepShape is one expected step of an operation's skeleton.
+type stepShape struct {
+	kind machine.StepKind
+	dim  int // cluster dimension, or -1
+}
+
+// shapeOf lays out the expected step sequence of op on a cube with cluster
+// dimension m — the cluster-technique skeleton the paper's algorithms share.
+func shapeOf(op dcomm.Op, m int) ([]stepShape, error) {
+	var steps []stepShape
+	cluster := func(dim int) { steps = append(steps, stepShape{machine.StepClusterDim, dim}) }
+	ascend := func() {
+		for i := 0; i < m; i++ {
+			cluster(i)
+		}
+	}
+	descend := func() {
+		for i := m - 1; i >= 0; i-- {
+			cluster(i)
+		}
+	}
+	cross := func() { steps = append(steps, stepShape{machine.StepCrossHop, -1}) }
+	local := func() { steps = append(steps, stepShape{machine.StepLocalCombine, -1}) }
+	switch op {
+	case dcomm.OpPrefix, dcomm.OpAllReduce, dcomm.OpAllGather:
+		ascend()
+		cross()
+		ascend()
+		cross()
+		local()
+	case dcomm.OpBroadcast, dcomm.OpAllToAll:
+		ascend()
+		cross()
+		ascend()
+		cross()
+	case dcomm.OpGather:
+		descend()
+		cross()
+		descend()
+		cross()
+	case dcomm.OpScatter:
+		cross()
+		ascend()
+		cross()
+		ascend()
+	default:
+		return nil, fmt.Errorf("schedcheck: no expected shape for %s", op)
+	}
+	return steps, nil
+}
+
+// CheckSchedule verifies sch's step sequence and finalized exchange tables
+// against d and op's expected skeleton. It accepts a fault-rewritten variant
+// too (annotations are CheckFT's business); structural invariants are
+// identical for both.
+func CheckSchedule(sch *machine.Schedule, d *topology.DualCube, op dcomm.Op) error {
+	n, m, N := d.Order(), d.ClusterDim(), d.Nodes()
+	if sch.D != d {
+		return fmt.Errorf("schedcheck: %s: schedule bound to %s, want %s", sch.Name, sch.D.Name(), d.Name())
+	}
+	shape, err := shapeOf(op, m)
+	if err != nil {
+		return err
+	}
+	if len(sch.Steps) != len(shape) {
+		return fmt.Errorf("schedcheck: %s: %d steps, want %d", sch.Name, len(sch.Steps), len(shape))
+	}
+	if got := sch.CommSteps(); got != 2*n {
+		return fmt.Errorf("schedcheck: %s: %d communication steps, want 2n = %d", sch.Name, got, 2*n)
+	}
+	if len(sch.Steps) > 2*n+1 {
+		return fmt.Errorf("schedcheck: %s: %d total steps exceed the Theorem 1 budget 2n+1 = %d", sch.Name, len(sch.Steps), 2*n+1)
+	}
+
+	// Steps sharing a pattern must share the finalized tables (one matching,
+	// one plan); remember the first occurrence to compare against.
+	firstByPattern := make(map[int]*machine.Step, m+1)
+	patternUses := make(map[int]int, m+1)
+
+	for i := range sch.Steps {
+		s := &sch.Steps[i]
+		want := shape[i]
+		if s.Kind != want.kind {
+			return fmt.Errorf("schedcheck: %s step %d: kind %s, want %s", sch.Name, i, s.Kind, want.kind)
+		}
+		switch s.Kind {
+		case machine.StepLocalCombine:
+			continue
+		case machine.StepClusterDim:
+			if s.Dim != want.dim {
+				return fmt.Errorf("schedcheck: %s step %d: dimension %d, want %d", sch.Name, i, s.Dim, want.dim)
+			}
+			if s.Pattern != s.Dim {
+				return fmt.Errorf("schedcheck: %s step %d: pattern %d, want dimension %d", sch.Name, i, s.Pattern, s.Dim)
+			}
+		case machine.StepCrossHop:
+			if s.Pattern != m {
+				return fmt.Errorf("schedcheck: %s step %d: cross pattern %d, want %d", sch.Name, i, s.Pattern, m)
+			}
+		}
+		patternUses[s.Pattern]++
+
+		partners, links := s.Partners(), s.LinkIndexes()
+		if partners == nil || links == nil {
+			return fmt.Errorf("schedcheck: %s step %d: schedule not finalized (nil exchange tables)", sch.Name, i)
+		}
+		if len(partners) != N || len(links) != N {
+			return fmt.Errorf("schedcheck: %s step %d: table length %d/%d, want %d", sch.Name, i, len(partners), len(links), N)
+		}
+		if first, ok := firstByPattern[s.Pattern]; ok {
+			if &first.Partners()[0] != &partners[0] || &first.LinkIndexes()[0] != &links[0] {
+				return fmt.Errorf("schedcheck: %s step %d: pattern %d tables not shared with earlier step", sch.Name, i, s.Pattern)
+			}
+			continue // shared tables were already verified node by node
+		}
+		firstByPattern[s.Pattern] = s
+
+		for u := 0; u < N; u++ {
+			p := int(partners[u])
+			if p < 0 || p >= N {
+				return fmt.Errorf("schedcheck: %s step %d: node %d partner %d out of range", sch.Name, i, u, p)
+			}
+			if p == u {
+				return fmt.Errorf("schedcheck: %s step %d: node %d paired with itself", sch.Name, i, u)
+			}
+			if int(partners[p]) != u {
+				return fmt.Errorf("schedcheck: %s step %d: matching not an involution at %d: partner %d pairs back to %d", sch.Name, i, u, p, partners[p])
+			}
+			var expect int
+			if s.Kind == machine.StepClusterDim {
+				expect = d.ClusterNeighbor(u, s.Dim)
+				if d.Class(p) != d.Class(u) || !d.SameCluster(u, p) {
+					return fmt.Errorf("schedcheck: %s step %d: cluster step pairs %d outside %d's cluster", sch.Name, i, p, u)
+				}
+			} else {
+				expect = d.CrossNeighbor(u)
+				if d.Class(p) == d.Class(u) {
+					return fmt.Errorf("schedcheck: %s step %d: cross step pairs %d and %d of the same class", sch.Name, i, u, p)
+				}
+			}
+			if p != expect {
+				return fmt.Errorf("schedcheck: %s step %d: node %d partner %d, want %d", sch.Name, i, u, p, expect)
+			}
+			row := d.Neighbors(u)
+			li := int(links[u])
+			if li < 0 || li >= len(row) || row[li] != p {
+				return fmt.Errorf("schedcheck: %s step %d: node %d link index %d does not select partner %d", sch.Name, i, u, li, p)
+			}
+		}
+	}
+
+	// Every exchange pattern — each cluster dimension and the cross matching —
+	// appears exactly twice: once per half of the cluster-technique skeleton.
+	for pat := 0; pat <= m; pat++ {
+		if patternUses[pat] != 2 {
+			return fmt.Errorf("schedcheck: %s: pattern %d used %d times, want 2", sch.Name, pat, patternUses[pat])
+		}
+	}
+	return nil
+}
+
+// CheckFT verifies a RewriteFT output against its base schedule and fault
+// view: annotations mark exactly the severed pairs, detours repair them over
+// alive simple paths in canonical order, and the repair-cycle account is
+// exact. f is the plan's link-fault budget; for f <= n-1 the detour length
+// bound of maxDetourHops is enforced.
+func CheckFT(ft, base *machine.Schedule, view *fault.View, f int) error {
+	d := base.D
+	n, N := d.Order(), d.Nodes()
+	if view.Clean() {
+		if ft != base {
+			return fmt.Errorf("schedcheck: %s: clean view must return the base schedule unchanged", ft.Name)
+		}
+		return nil
+	}
+	if ft == base {
+		return fmt.Errorf("schedcheck: %s: faulty view returned the shared base schedule", base.Name)
+	}
+	if ft.D != d {
+		return fmt.Errorf("schedcheck: %s: rewrite bound to %s, want %s", ft.Name, ft.D.Name(), d.Name())
+	}
+	if len(ft.Steps) != len(base.Steps) {
+		return fmt.Errorf("schedcheck: %s: rewrite has %d steps, base %d", ft.Name, len(ft.Steps), len(base.Steps))
+	}
+
+	wantRepair := 0
+	for i := range ft.Steps {
+		s, b := &ft.Steps[i], &base.Steps[i]
+		if s.Kind != b.Kind || s.Dim != b.Dim || s.Pattern != b.Pattern {
+			return fmt.Errorf("schedcheck: %s step %d: rewrite altered the step skeleton", ft.Name, i)
+		}
+		if s.Kind == machine.StepLocalCombine {
+			continue
+		}
+		partners := s.Partners()
+		if partners == nil || &partners[0] != &b.Partners()[0] {
+			return fmt.Errorf("schedcheck: %s step %d: rewrite does not share the base exchange tables", ft.Name, i)
+		}
+
+		// The severed pairs of this matching, normalized u < partner.
+		severed := make(map[[2]int]bool)
+		for u := 0; u < N; u++ {
+			p := int(partners[u])
+			if u < p && view.LinkDown(u, p) {
+				severed[[2]int{u, p}] = true
+			}
+		}
+		if len(severed) == 0 {
+			if s.Broken != nil || s.Detours != nil {
+				return fmt.Errorf("schedcheck: %s step %d: annotations on an unsevered matching", ft.Name, i)
+			}
+			continue
+		}
+		if s.Broken == nil {
+			return fmt.Errorf("schedcheck: %s step %d: matching severed %d pair(s) but carries no annotations", ft.Name, i, len(severed))
+		}
+		for u := 0; u < N; u++ {
+			down := view.LinkDown(u, int(partners[u]))
+			if s.Broken[u] != down {
+				return fmt.Errorf("schedcheck: %s step %d: Broken[%d] = %v, want %v", ft.Name, i, u, s.Broken[u], down)
+			}
+		}
+		if len(s.Detours) != len(severed) {
+			return fmt.Errorf("schedcheck: %s step %d: %d detours for %d severed pairs", ft.Name, i, len(s.Detours), len(severed))
+		}
+		prevU, prevV := -1, -1
+		for k := range s.Detours {
+			dt := &s.Detours[k]
+			if err := checkDetour(d, view, dt, severed, n, f); err != nil {
+				return fmt.Errorf("schedcheck: %s step %d detour %d: %w", ft.Name, i, k, err)
+			}
+			u, v := dt.Path[0], dt.Path[len(dt.Path)-1]
+			if u < prevU || (u == prevU && v <= prevV) {
+				return fmt.Errorf("schedcheck: %s step %d: detours not in canonical endpoint order", ft.Name, i)
+			}
+			prevU, prevV = u, v
+			delete(severed, [2]int{u, v})
+			wantRepair += 2 * (len(dt.Path) - 1)
+		}
+		if len(severed) != 0 {
+			return fmt.Errorf("schedcheck: %s step %d: %d severed pair(s) left without a detour", ft.Name, i, len(severed))
+		}
+	}
+
+	if ft.RepairCycles != wantRepair {
+		return fmt.Errorf("schedcheck: %s: RepairCycles %d, want %d (sum of 2·hops over step detours)", ft.Name, ft.RepairCycles, wantRepair)
+	}
+	// Each pattern appears twice and a link belongs to one pattern, so f
+	// faults sever at most f pairs, each repaired twice per schedule over at
+	// most maxDetourHops hops each way.
+	if f <= n-1 {
+		if limit := 2 * 2 * maxDetourHops * f; ft.RepairCycles > limit {
+			return fmt.Errorf("schedcheck: %s: RepairCycles %d exceed the f<=n-1 bound %d", ft.Name, ft.RepairCycles, limit)
+		}
+	}
+	return nil
+}
+
+// checkDetour verifies one repair relay: endpoints are a severed pair of the
+// step's matching, the path is a simple alive walk of adjacent nodes joining
+// them, Back is its exact reverse, and under the paper's fault budget the
+// length respects the maxDetourHops ceiling.
+func checkDetour(d *topology.DualCube, view *fault.View, dt *machine.Detour, severed map[[2]int]bool, n, f int) error {
+	if len(dt.Path) < 3 {
+		return fmt.Errorf("path %v too short to avoid the severed link", dt.Path)
+	}
+	u, v := dt.Path[0], dt.Path[len(dt.Path)-1]
+	if u >= v || !severed[[2]int{u, v}] {
+		return fmt.Errorf("endpoints (%d,%d) are not an unclaimed severed pair of this matching", u, v)
+	}
+	seen := make(map[int]bool, len(dt.Path))
+	for i, x := range dt.Path {
+		if seen[x] {
+			return fmt.Errorf("path %v revisits node %d", dt.Path, x)
+		}
+		seen[x] = true
+		if i == 0 {
+			continue
+		}
+		prev := dt.Path[i-1]
+		if !d.HasEdge(prev, x) {
+			return fmt.Errorf("path %v hops %d->%d across a non-edge", dt.Path, prev, x)
+		}
+		if view.LinkDown(prev, x) {
+			return fmt.Errorf("path %v relays over the down link %d-%d", dt.Path, prev, x)
+		}
+	}
+	if len(dt.Back) != len(dt.Path) {
+		return fmt.Errorf("Back length %d != Path length %d", len(dt.Back), len(dt.Path))
+	}
+	for i, x := range dt.Back {
+		if x != dt.Path[len(dt.Path)-1-i] {
+			return fmt.Errorf("Back %v is not Path %v reversed", dt.Back, dt.Path)
+		}
+	}
+	if f <= n-1 && len(dt.Path)-1 > maxDetourHops {
+		return fmt.Errorf("detour %v takes %d hops, over the %d-hop ceiling for %d faults on D_%d", dt.Path, len(dt.Path)-1, maxDetourHops, f, n)
+	}
+	return nil
+}
+
+// ftSeeds are the fault plans exercised per (order, op): the repository's
+// standard experiment seed and one contrasting draw.
+var ftSeeds = []int64{2008, 42}
+
+// Verify runs the full static battery for every order in [minOrder,
+// maxOrder]: all operations' fault-free schedules, plus RewriteFT variants
+// under f = 1 and f = n-1 random link faults per seed.
+func Verify(minOrder, maxOrder int) error {
+	for n := minOrder; n <= maxOrder; n++ {
+		d, err := topology.Shared(n)
+		if err != nil {
+			return err
+		}
+		for op := dcomm.OpPrefix; op < dcomm.OpEnd; op++ {
+			if err := Check(d, op); err != nil {
+				return err
+			}
+			base, err := dcomm.Compiled(d, op)
+			if err != nil {
+				return err
+			}
+			for _, f := range faultBudgets(n) {
+				for _, seed := range ftSeeds {
+					view := fault.NewView(d, fault.Random(d, f, seed))
+					ft, err := dcomm.RewriteFT(base, view)
+					if err != nil {
+						return fmt.Errorf("schedcheck: %s f=%d seed=%d: %w", base.Name, f, seed, err)
+					}
+					if err := CheckFT(ft, base, view, f); err != nil {
+						return fmt.Errorf("f=%d seed=%d: %w", f, seed, err)
+					}
+					if err := CheckSchedule(ft, d, op); err != nil {
+						return fmt.Errorf("f=%d seed=%d: %w", f, seed, err)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// faultBudgets returns the link-fault counts verified per order: a single
+// fault and the paper's maximum tolerated budget n-1.
+func faultBudgets(n int) []int {
+	if n <= 2 {
+		return []int{1}
+	}
+	return []int{1, n - 1}
+}

@@ -1,0 +1,196 @@
+package schedcheck
+
+import (
+	"strings"
+	"testing"
+
+	"dualcube/internal/dcomm"
+	"dualcube/internal/fault"
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// TestVerifyOrders runs the full static battery the dcvet driver runs: every
+// operation's schedule on D_2..D_7, fault-free and under the standard fault
+// plans.
+func TestVerifyOrders(t *testing.T) {
+	if err := Verify(2, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommStepCounts pins the exact communication-step counts of Theorem 1
+// and its collective corollaries: every operation takes exactly 2n
+// communication steps, and the three combining operations carry exactly one
+// trailing local round (total 2n+1).
+func TestCommStepCounts(t *testing.T) {
+	withLocal := map[dcomm.Op]bool{
+		dcomm.OpPrefix:    true,
+		dcomm.OpAllReduce: true,
+		dcomm.OpAllGather: true,
+	}
+	for n := 2; n <= 7; n++ {
+		d := topology.MustDualCube(n)
+		for op := dcomm.OpPrefix; op < dcomm.OpEnd; op++ {
+			sch, err := dcomm.Compiled(d, op)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, op, err)
+			}
+			if got := sch.CommSteps(); got != 2*n {
+				t.Errorf("n=%d %s: %d comm steps, want %d", n, op, got, 2*n)
+			}
+			wantTotal := 2 * n
+			if withLocal[op] {
+				wantTotal++
+			}
+			if got := len(sch.Steps); got != wantTotal {
+				t.Errorf("n=%d %s: %d total steps, want %d", n, op, got, wantTotal)
+			}
+			if withLocal[op] && sch.Steps[len(sch.Steps)-1].Kind != machine.StepLocalCombine {
+				t.Errorf("n=%d %s: last step is not the local combine", n, op)
+			}
+		}
+	}
+}
+
+// buildPrefixSchedule hand-builds the prefix skeleton on d, finalized —
+// a private schedule the negative tests may corrupt without poisoning the
+// shared dcomm cache.
+func buildPrefixSchedule(d *topology.DualCube) *machine.Schedule {
+	m := d.ClusterDim()
+	sch := &machine.Schedule{Name: "prefix/" + d.Name(), D: d}
+	for half := 0; half < 2; half++ {
+		for i := 0; i < m; i++ {
+			sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepClusterDim, Dim: i, Pattern: i})
+		}
+		sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepCrossHop, Dim: -1, Pattern: m})
+	}
+	sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepLocalCombine, Dim: -1, Pattern: -1})
+	sch.Finalize()
+	return sch
+}
+
+// TestCheckScheduleCatchesTamperedPartner corrupts one entry of a finalized
+// partner table and expects the involution/matching checks to reject it.
+func TestCheckScheduleCatchesTamperedPartner(t *testing.T) {
+	d := topology.MustDualCube(3)
+	sch := buildPrefixSchedule(d)
+	if err := CheckSchedule(sch, d, dcomm.OpPrefix); err != nil {
+		t.Fatalf("pristine schedule rejected: %v", err)
+	}
+
+	partners := sch.Steps[0].Partners()
+	orig := partners[0]
+	partners[0] = partners[2] // node 0 now claims node 2's partner
+	err := CheckSchedule(sch, d, dcomm.OpPrefix)
+	if err == nil {
+		t.Fatal("tampered partner table passed verification")
+	}
+	if !strings.Contains(err.Error(), "involution") && !strings.Contains(err.Error(), "partner") {
+		t.Errorf("tampered-table error %q does not name the matching violation", err)
+	}
+	partners[0] = orig
+	if err := CheckSchedule(sch, d, dcomm.OpPrefix); err != nil {
+		t.Fatalf("restored schedule rejected: %v", err)
+	}
+
+	// A self-pair and a tampered link index must be caught too.
+	partners[0] = 0
+	if CheckSchedule(sch, d, dcomm.OpPrefix) == nil {
+		t.Error("self-paired node passed verification")
+	}
+	partners[0] = orig
+	links := sch.Steps[0].LinkIndexes()
+	links[0]++
+	if CheckSchedule(sch, d, dcomm.OpPrefix) == nil {
+		t.Error("tampered link index passed verification")
+	}
+	links[0]--
+}
+
+// TestCheckScheduleRejectsUnfinalized checks that a schedule whose tables
+// were never built is reported, not silently accepted.
+func TestCheckScheduleRejectsUnfinalized(t *testing.T) {
+	d := topology.MustDualCube(3)
+	m := d.ClusterDim()
+	sch := &machine.Schedule{Name: "prefix/" + d.Name(), D: d}
+	for half := 0; half < 2; half++ {
+		for i := 0; i < m; i++ {
+			sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepClusterDim, Dim: i, Pattern: i})
+		}
+		sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepCrossHop, Dim: -1, Pattern: m})
+	}
+	sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepLocalCombine, Dim: -1, Pattern: -1})
+	err := CheckSchedule(sch, d, dcomm.OpPrefix)
+	if err == nil || !strings.Contains(err.Error(), "not finalized") {
+		t.Fatalf("unfinalized schedule: err = %v, want finalization complaint", err)
+	}
+}
+
+// TestCheckFTCatchesTamperedRewrite corrupts pieces of a genuine RewriteFT
+// output and checks each corruption is caught.
+func TestCheckFTCatchesTamperedRewrite(t *testing.T) {
+	d := topology.MustDualCube(3)
+	base := buildPrefixSchedule(d)
+	view := fault.NewView(d, fault.Random(d, 2, 2008))
+	ft, err := dcomm.RewriteFT(base, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFT(ft, base, view, 2); err != nil {
+		t.Fatalf("pristine rewrite rejected: %v", err)
+	}
+
+	ft.RepairCycles++
+	if CheckFT(ft, base, view, 2) == nil {
+		t.Error("inflated RepairCycles passed verification")
+	}
+	ft.RepairCycles--
+
+	var annotated *machine.Step
+	for i := range ft.Steps {
+		if s := &ft.Steps[i]; s.Broken != nil {
+			annotated = s
+			break
+		}
+	}
+	if annotated == nil {
+		t.Fatal("fault plan severed no exchange pattern; pick a different seed")
+	}
+	dt := &annotated.Detours[0]
+	dt.Path[0], dt.Path[len(dt.Path)-1] = dt.Path[len(dt.Path)-1], dt.Path[0]
+	if CheckFT(ft, base, view, 2) == nil {
+		t.Error("reversed detour endpoints passed verification")
+	}
+	dt.Path[0], dt.Path[len(dt.Path)-1] = dt.Path[len(dt.Path)-1], dt.Path[0]
+
+	u := dt.Path[0]
+	flip := annotated.Broken[u]
+	annotated.Broken[u] = !flip
+	if CheckFT(ft, base, view, 2) == nil {
+		t.Error("inconsistent Broken mask passed verification")
+	}
+	annotated.Broken[u] = flip
+
+	if err := CheckFT(ft, base, view, 2); err != nil {
+		t.Fatalf("restored rewrite rejected: %v", err)
+	}
+}
+
+// TestCheckFTCleanView pins the clean-view contract: RewriteFT must hand back
+// the base schedule itself, and CheckFT must insist on that.
+func TestCheckFTCleanView(t *testing.T) {
+	d := topology.MustDualCube(3)
+	base := buildPrefixSchedule(d)
+	clean := fault.NewView(d, nil)
+	ft, err := dcomm.RewriteFT(base, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFT(ft, base, clean, 0); err != nil {
+		t.Fatal(err)
+	}
+	if CheckFT(base, buildPrefixSchedule(d), clean, 0) == nil {
+		t.Error("clean view with a copied schedule passed; must be the identical pointer")
+	}
+}

@@ -83,11 +83,16 @@ func (rt *Runtime) Network() *Network { return &Network{d: rt.d} }
 // Warm pre-compiles the cluster-technique schedules of every collective
 // operation for this order. Engines are typed by element, so they warm on
 // the first run of each (operation, element type) pair; Warm only removes
-// the schedule-compilation cost from that first run.
-func (rt *Runtime) Warm() {
+// the schedule-compilation cost from that first run. The returned error is
+// nil for every operation in the Op enum; it exists so compilation failures
+// surface to callers instead of panicking.
+func (rt *Runtime) Warm() error {
 	for op := dcomm.OpPrefix; op < dcomm.OpEnd; op++ {
-		dcomm.Compiled(rt.d, op)
+		if _, err := dcomm.Compiled(rt.d, op); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Barrier synchronizes all nodes of the Runtime's network; it completes
