@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments figures fuzz clean
+.PHONY: all build vet test test-short race bench bench-json experiments figures fuzz clean
 
 all: build vet test
 
@@ -25,6 +25,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark sweep: one JSON line per experiment point
+# (name, order, ns/op, allocs/op, cycles) on the default backends.
+bench-json:
+	$(GO) run ./cmd/dcbench -json > BENCH_5.json
 
 # Regenerate every experiment table (the content of EXPERIMENTS.md).
 experiments:

@@ -24,9 +24,13 @@ func TestNoPlanPrefixAllocGuard(t *testing.T) {
 		in[i] = i*2654435761 + 1
 	}
 	// One worker keeps the schedule deterministic and avoids counting
-	// goroutine stack growth of a cold pool against the run.
+	// goroutine stack growth of a cold pool against the run. The scheduler is
+	// pinned to the worker pool: this guard protects the ENGINE's disarmed
+	// send path (the direct executor has its own, tighter guard below).
 	SetSimWorkers(1)
+	SetSimScheduler(SchedulerWorkerPool)
 	defer SetSimWorkers(0)
+	defer SetSimScheduler(SchedulerDefault)
 	m := monoid.Sum[int]()
 	// Warm up once so lazily-initialized state is excluded.
 	if _, _, err := prefix.DPrefix(n, in, m, true, nil); err != nil {
@@ -40,6 +44,44 @@ func TestNoPlanPrefixAllocGuard(t *testing.T) {
 	if allocs > budget {
 		t.Fatalf("D_prefix on D_%d with no fault plan: %.0f allocs/op, budget %d (PR-1 level 17)", n, allocs, budget)
 	}
+}
+
+// TestDirectPrefixAllocGuard pins the steady-state allocation cost of the
+// direct kernel executor: D_prefix on a warm D_6 Runtime, explicitly routed
+// through SchedulerDirect, must stay within 16 allocs/op. The direct path
+// allocates only the run's flat payload/role arrays, the kernel's state,
+// and the result slice — no coroutines, no per-node contexts, no channels —
+// so even one stray per-node or per-step allocation (2048 nodes x 12 steps)
+// blows the budget by two orders of magnitude.
+func TestDirectPrefixAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	const n = 6
+	const budget = 16 // measured steady state is 8 allocs/op
+	rt, err := NewRuntime(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Warm()
+	in := make([]int, rt.Nodes())
+	for i := range in {
+		in[i] = i*2654435761 + 1
+	}
+	SetSimScheduler(SchedulerDirect)
+	defer SetSimScheduler(SchedulerDefault)
+	if _, _, err := PrefixOn(rt, in); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := PrefixOn(rt, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("direct D_prefix on warm D_%d runtime: %.0f allocs/op, budget %d", n, allocs, budget)
+	}
+	t.Logf("direct D_prefix on warm D_%d runtime: %.0f allocs/op (budget %d)", n, allocs, budget)
 }
 
 // TestWarmRuntimeAllocGuard pins the steady-state allocation cost of Runtime

@@ -40,6 +40,7 @@ func BenchmarkE2Diameter(b *testing.B) {
 	for _, n := range []int{2, 3, 4} {
 		d := topology.MustDualCube(n)
 		b.Run(fmt.Sprintf("D_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if topology.DiameterBFS(d) != d.Diameter() {
 					b.Fatal("diameter mismatch")
@@ -54,6 +55,7 @@ func BenchmarkE4DPrefix(b *testing.B) {
 	for _, n := range []int{2, 3, 4, 5, 6, 7} {
 		in := benchInput(n)
 		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, len(in)), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := prefix.DPrefix(n, in, monoid.Sum[int](), true, nil); err != nil {
 					b.Fatal(err)
@@ -68,6 +70,7 @@ func BenchmarkE4EmulatedPrefix(b *testing.B) {
 	for _, n := range []int{2, 3, 4, 5} {
 		in := benchInput(n)
 		b.Run(fmt.Sprintf("D_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := prefix.EmulatedCubePrefix(n, in, monoid.Sum[int](), true); err != nil {
 					b.Fatal(err)
@@ -86,6 +89,7 @@ func BenchmarkE5CubePrefix(b *testing.B) {
 			in[i] = rng.Intn(1 << 20)
 		}
 		b.Run(fmt.Sprintf("Q_%d/nodes=%d", q, len(in)), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := prefix.CubePrefix(q, in, monoid.Sum[int](), true); err != nil {
 					b.Fatal(err)
@@ -100,6 +104,7 @@ func BenchmarkE8DSort(b *testing.B) {
 	for _, n := range []int{2, 3, 4, 5} {
 		in := benchInput(n)
 		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, len(in)), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sortnet.DSort(n, in, func(a, b int) bool { return a < b }, sortnet.Ascending, nil); err != nil {
 					b.Fatal(err)
@@ -118,6 +123,7 @@ func BenchmarkE9CubeSort(b *testing.B) {
 			in[i] = rng.Intn(1 << 20)
 		}
 		b.Run(fmt.Sprintf("Q_%d/nodes=%d", q, len(in)), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sortnet.CubeSort(q, in, func(a, b int) bool { return a < b }, sortnet.Ascending); err != nil {
 					b.Fatal(err)
@@ -138,6 +144,7 @@ func BenchmarkE12PrefixLarge(b *testing.B) {
 			in[i] = rng.Intn(1 << 20)
 		}
 		b.Run(fmt.Sprintf("D_%d/k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := prefix.DPrefixLarge(n, k, in, monoid.Sum[int](), true); err != nil {
 					b.Fatal(err)
@@ -158,6 +165,7 @@ func BenchmarkE12SortLarge(b *testing.B) {
 			in[i] = rng.Intn(1 << 20)
 		}
 		b.Run(fmt.Sprintf("D_%d/k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sortnet.DSortLarge(n, k, in, func(a, b int) bool { return a < b }, sortnet.Ascending); err != nil {
 					b.Fatal(err)
@@ -172,6 +180,7 @@ func BenchmarkE13Collectives(b *testing.B) {
 	for _, n := range []int{4, 7} {
 		in := benchInput(n)
 		b.Run(fmt.Sprintf("Broadcast/D_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := collective.Broadcast(n, 5, 1); err != nil {
 					b.Fatal(err)
@@ -179,6 +188,7 @@ func BenchmarkE13Collectives(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("AllReduce/D_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := collective.AllReduce(n, in, monoid.Sum[int]()); err != nil {
 					b.Fatal(err)
@@ -186,6 +196,7 @@ func BenchmarkE13Collectives(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("Gather/D_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := collective.Gather(n, 5, in); err != nil {
 					b.Fatal(err)
@@ -195,21 +206,25 @@ func BenchmarkE13Collectives(b *testing.B) {
 	}
 }
 
-// BenchmarkSchedulers runs the same D_prefix workload under both execution
-// engines — the head-to-head behind the scheduler numbers in EXPERIMENTS.md.
+// BenchmarkSchedulers runs the same D_prefix workload under all three
+// execution backends — the two simulator engines and the direct kernel
+// executor — the head-to-head behind the backend numbers in EXPERIMENTS.md
+// (E21 pins direct at >= 2x over the worker pool on D_6).
 func BenchmarkSchedulers(b *testing.B) {
-	const n = 5
-	in := benchInput(n)
-	for _, s := range []Scheduler{SchedulerWorkerPool, SchedulerGoroutinePerNode} {
-		b.Run(fmt.Sprintf("%v/D_%d", s, n), func(b *testing.B) {
-			SetSimScheduler(s)
-			defer SetSimScheduler(SchedulerWorkerPool)
-			for i := 0; i < b.N; i++ {
-				if _, _, err := prefix.DPrefix(n, in, monoid.Sum[int](), true, nil); err != nil {
-					b.Fatal(err)
+	for _, n := range []int{5, 6} {
+		in := benchInput(n)
+		for _, s := range []Scheduler{SchedulerWorkerPool, SchedulerGoroutinePerNode, SchedulerDirect} {
+			b.Run(fmt.Sprintf("%v/D_%d", s, n), func(b *testing.B) {
+				b.ReportAllocs()
+				SetSimScheduler(s)
+				defer SetSimScheduler(SchedulerDefault)
+				for i := 0; i < b.N; i++ {
+					if _, _, err := prefix.DPrefix(n, in, monoid.Sum[int](), true, nil); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -219,6 +234,7 @@ func BenchmarkSchedulers(b *testing.B) {
 func BenchmarkStepKinds(b *testing.B) {
 	d := topology.MustDualCube(4)
 	b.Run("cross-exchange-1cycle", func(b *testing.B) {
+		b.ReportAllocs()
 		eng := machine.MustNew[int](d, machine.Config{})
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Run(func(c *machine.Ctx[int]) {
@@ -229,6 +245,7 @@ func BenchmarkStepKinds(b *testing.B) {
 		}
 	})
 	b.Run("routed-exchange-3cycles", func(b *testing.B) {
+		b.ReportAllocs()
 		eng := machine.MustNew[int](d, machine.Config{})
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Run(func(c *machine.Ctx[int]) {
@@ -259,6 +276,7 @@ func BenchmarkMachineBarrier(b *testing.B) {
 		d := topology.MustDualCube(n)
 		eng := machine.MustNew[int](d, machine.Config{})
 		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, d.Nodes()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Run(func(c *machine.Ctx[int]) {
 					for k := 0; k < 100; k++ {
@@ -283,6 +301,7 @@ func BenchmarkPermute(b *testing.B) {
 			values[i] = rng.Int()
 		}
 		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, N), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sortnet.Permute(n, dests, values); err != nil {
 					b.Fatal(err)
@@ -304,6 +323,7 @@ func BenchmarkAllToAll(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, N), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := collective.AllToAll(n, in); err != nil {
 					b.Fatal(err)
@@ -324,6 +344,7 @@ func BenchmarkSegmentedPrefix(b *testing.B) {
 		heads[i] = i%7 == 0
 	}
 	b.Run(fmt.Sprintf("D_%d", n), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := prefix.DPrefixSegmented(n, values, heads, monoid.Sum[int]()); err != nil {
 				b.Fatal(err)
@@ -337,6 +358,7 @@ func BenchmarkHamiltonianCycle(b *testing.B) {
 	for _, n := range []int{3, 5, 7} {
 		d := topology.MustDualCube(n)
 		b.Run(fmt.Sprintf("D_%d/nodes=%d", n, d.Nodes()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cycle, err := embedding.DualCubeHamiltonianCycle(n)
 				if err != nil {
@@ -359,6 +381,7 @@ func BenchmarkNTT(b *testing.B) {
 			in[i] = uint64(i*2654435761) % ntt.Mod
 		}
 		b.Run(fmt.Sprintf("dualcube/D_%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := ntt.Transform(n, in, false); err != nil {
 					b.Fatal(err)
@@ -366,6 +389,7 @@ func BenchmarkNTT(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("hypercube/Q_%d", 2*n-1), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := ntt.CubeTransform(n, in, false); err != nil {
 					b.Fatal(err)
@@ -388,6 +412,7 @@ func BenchmarkE20PrefixColdVsWarm(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run(fmt.Sprintf("cold/D_%d", n), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			machine.ResetEnginePool()
 			if _, _, err := PrefixOn(rt, in); err != nil {
@@ -396,6 +421,7 @@ func BenchmarkE20PrefixColdVsWarm(b *testing.B) {
 		}
 	})
 	b.Run(fmt.Sprintf("warm/D_%d", n), func(b *testing.B) {
+		b.ReportAllocs()
 		rt.Warm()
 		if _, _, err := PrefixOn(rt, in); err != nil {
 			b.Fatal(err)
@@ -420,6 +446,7 @@ func BenchmarkE17SampleSort(b *testing.B) {
 			in[i] = rng.Intn(1 << 20)
 		}
 		b.Run(fmt.Sprintf("samplesort/D_%d/k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := samplesort.Sort(n, k, in, func(a, b int) bool { return a < b }); err != nil {
 					b.Fatal(err)
@@ -427,6 +454,7 @@ func BenchmarkE17SampleSort(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("bitonic/D_%d/k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sortnet.DSortLarge(n, k, in, func(a, b int) bool { return a < b }, sortnet.Ascending); err != nil {
 					b.Fatal(err)

@@ -7,8 +7,11 @@
 //
 //	dcbench                  # run every experiment
 //	dcbench -exp E8          # one experiment: E2 E4 E5 E8 E9 E10 E11 E12 E13 E14 E16 E17 E18 E19 E20
+//	dcbench -json            # benchmark sweep as JSON lines: one point per
+//	                         # experiment (name, order, ns/op, allocs/op, cycles)
+//	dcbench -json -sched worker-pool  # same sweep on an explicit backend
 //	dcbench -faults          # fault sweep: degraded D_prefix on D_4..D_6, f = 0..n-1
-//	dcbench -faults -json    # same sweep as JSON lines (one point per line)
+//	dcbench -faults -json    # fault sweep as JSON lines (one point per line)
 //	dcbench -faults -seed 7  # sweep under a different plan seed
 //	dcbench -warm            # E20: cold-vs-warm per-call wall time of D_prefix
 //	dcbench -warm -n 6 -runs 20  # same sweep, up to D_6, 20 calls per point
@@ -29,7 +32,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (E2, E4, E5, E8, E9, E10, E11, E12, E13, E14, E16, E17, E18, E19, E20) or 'all'")
 	faults := flag.Bool("faults", false, "run the seeded fault sweep (degraded D_prefix, f = 0..n-1 on D_4..D_6)")
-	jsonOut := flag.Bool("json", false, "with -faults: emit JSON lines instead of the markdown table")
+	jsonOut := flag.Bool("json", false, "emit JSON lines: alone, the benchmark sweep (one point per experiment); with -faults, the fault sweep")
+	sched := flag.String("sched", "", "with -json: backend to benchmark (direct, worker-pool, goroutine-per-node; empty = package defaults)")
 	seed := flag.Int64("seed", 2008, "base seed for the fault-sweep plans")
 	warm := flag.Bool("warm", false, "run E20: cold-vs-warm per-call wall time of D_prefix (D_4..D_n)")
 	maxN := flag.Int("n", 6, "with -warm: largest dual-cube order to sweep")
@@ -68,6 +72,8 @@ func main() {
 		} else {
 			out, err = experiments.E18FaultSweep(4, 6, *seed)
 		}
+	case *jsonOut:
+		out, err = experiments.BenchJSON(*sched, 5)
 	default:
 		switch *exp {
 		case "all":

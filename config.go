@@ -9,13 +9,19 @@ import (
 	"dualcube/internal/topology"
 )
 
-// Scheduler selects the simulator execution engine used by all algorithm
-// entry points of this package. See the internal/machine package comment
-// for the semantics; both schedulers produce identical results and Stats.
+// Scheduler selects the execution backend used by all algorithm entry
+// points of this package. See the internal/machine package comment for the
+// semantics; every backend produces identical results and Stats. With no
+// selection, schedule-driven operations use the direct kernel executor and
+// everything else uses the worker-pool engine.
 type Scheduler = machine.Sched
 
 const (
-	// SchedulerWorkerPool is the default: a stepped scheduler with
+	// SchedulerDefault restores the default backend selection: the direct
+	// kernel executor for schedule-driven operations, the worker pool for
+	// engine runs.
+	SchedulerDefault Scheduler = machine.SchedDefault
+	// SchedulerWorkerPool is the engine default: a stepped scheduler with
 	// W ≈ GOMAXPROCS workers advancing node coroutines cycle-by-cycle and
 	// synchronizing through a W-party sense-reversing barrier.
 	SchedulerWorkerPool Scheduler = machine.SchedWorkerPool
@@ -24,11 +30,21 @@ const (
 	// node programs that block on synchronization of their own between
 	// clock boundaries.
 	SchedulerGoroutinePerNode Scheduler = machine.SchedGoroutinePerNode
+	// SchedulerDirect is the direct kernel executor: schedule-driven
+	// operations (prefix, the collectives) run as array kernels over flat
+	// state — no coroutines, no lockstep barrier — reproducing the
+	// interpreter's outputs and Stats exactly. This is the default for
+	// schedule-driven operations when no scheduler is selected; selecting it
+	// explicitly keeps direct execution while engine-only runs (RunRecorded,
+	// custom node programs) fall back to the worker pool.
+	SchedulerDirect Scheduler = machine.SchedDirect
 )
 
-// SetSimScheduler selects the execution engine for all subsequent
-// simulated runs. The zero value machine.SchedDefault restores the default
-// (the worker pool). Affects process-wide state; intended for program
+// SetSimScheduler selects the execution backend for all subsequent runs.
+// The zero value machine.SchedDefault restores the defaults (direct kernel
+// execution for schedule-driven operations, the worker pool for engine
+// runs). Selecting an engine scheduler forces every operation — including
+// schedule-driven ones — through that engine. Affects process-wide state; intended for program
 // start-up or test setup, not for concurrent reconfiguration.
 func SetSimScheduler(s Scheduler) { machine.SetDefaultSched(s) }
 

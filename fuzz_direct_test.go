@@ -1,0 +1,87 @@
+package dualcube
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzDirectVsInterpret is the differential fuzzer for the direct kernel
+// executor: random monoid inputs — and, when the seed selects one, a seeded
+// fault plan — run through both the direct executor and the worker-pool
+// interpreter, which must produce identical outputs and identical Stats.
+// Three probes per input: sum prefix (fault-free or degraded under the
+// plan), a non-commutative mixing combine (order mistakes that a sum
+// conceals change the result), and the all-reduce collective.
+func FuzzDirectVsInterpret(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(0))
+	f.Add(int64(2), uint8(3), uint8(1))
+	f.Add(int64(3), uint8(4), uint8(2))
+	f.Add(int64(42), uint8(5), uint8(4))
+	f.Add(int64(-7), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, order, faults uint8) {
+		n := 2 + int(order)%4 // D_2 .. D_5
+		N := 1 << (2*n - 1)
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]int, N)
+		for i := range in {
+			in[i] = rng.Intn(1<<20) - 1<<19
+		}
+		f := int(faults) % n // 0 .. n-1 permanent link faults
+		var plan *FaultPlan
+		if f > 0 {
+			var err error
+			plan, err = RandomFaultPlan(n, f, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		mix := func(a, b int) int { return a*1000003 + b }
+
+		defer SetSimScheduler(SchedulerDefault)
+		type probe struct {
+			name string
+			run  func() (any, Stats, error)
+		}
+		probes := []probe{
+			{"prefix", func() (any, Stats, error) {
+				if plan != nil {
+					out, st, err := PrefixDegraded(n, in, plan)
+					return out, st, err
+				}
+				out, st, err := Prefix(n, in)
+				return out, st, err
+			}},
+			{"prefix-noncommutative", func() (any, Stats, error) {
+				if plan != nil {
+					out, st, err := PrefixDegradedFunc(n, in, func() int { return 0 }, mix, true, plan)
+					return out, st, err
+				}
+				out, st, err := PrefixFunc(n, in, func() int { return 0 }, mix, true)
+				return out, st, err
+			}},
+			{"allreduce", func() (any, Stats, error) {
+				out, st, err := AllReduceSum(n, in)
+				return out, st, err
+			}},
+		}
+		for _, p := range probes {
+			SetSimScheduler(SchedulerDirect)
+			directOut, directStats, directErr := p.run()
+			SetSimScheduler(SchedulerWorkerPool)
+			poolOut, poolStats, poolErr := p.run()
+			if (directErr == nil) != (poolErr == nil) {
+				t.Fatalf("%s: error divergence: direct=%v pool=%v", p.name, directErr, poolErr)
+			}
+			if directErr != nil {
+				continue // both rejected the input identically
+			}
+			if directStats != poolStats {
+				t.Errorf("%s: stats diverge\n  direct: %+v\n  pool:   %+v", p.name, directStats, poolStats)
+			}
+			if !reflect.DeepEqual(directOut, poolOut) {
+				t.Errorf("%s: outputs diverge between direct executor and interpreter", p.name)
+			}
+		}
+	})
+}

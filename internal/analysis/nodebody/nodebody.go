@@ -5,6 +5,11 @@
 // wall clock, or touching raw channels from a node body either deadlocks the
 // W-party sense barrier (a parked coroutine the barrier never hears from) or
 // skews the cycle accounting the paper's cost model depends on.
+//
+// Direct-executor kernel bodies are NOT node programs: a function taking a
+// *machine.DirectCtx is driven by RunDirect from host worker goroutines (or
+// by the KernelProgram adapter, whose own closure is the node program), so
+// the lockstep discipline does not apply to it and the checker stays silent.
 package nodebody
 
 import (
@@ -38,7 +43,7 @@ func run(pass *driver.Pass) (any, error) {
 			default:
 				return true
 			}
-			if body != nil && takesCtx(pass, ft) {
+			if body != nil && takesCtx(pass, ft) && !takesDirectCtx(pass, ft) {
 				checkBody(pass, body, reported)
 			}
 			return true
@@ -58,6 +63,25 @@ func takesCtx(pass *driver.Pass, ft *ast.FuncType) bool {
 			continue
 		}
 		if _, isPtr := tv.Type.(*types.Pointer); isPtr && driver.IsNamed(tv.Type, "internal/machine", "Ctx") {
+			return true
+		}
+	}
+	return false
+}
+
+// takesDirectCtx reports whether the function type has a *machine.DirectCtx
+// param — the signature of a direct-executor kernel body (Produce, Absorb,
+// Local), which runs on host goroutines, not on a scheduler-owned coroutine.
+func takesDirectCtx(pass *driver.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr && driver.IsNamed(tv.Type, "internal/machine", "DirectCtx") {
 			return true
 		}
 	}

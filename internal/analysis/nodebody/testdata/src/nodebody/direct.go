@@ -1,0 +1,51 @@
+package fixture
+
+import (
+	"time"
+
+	"dualcube/internal/machine"
+)
+
+// A direct-executor kernel body (takes *machine.DirectCtx) is not a node
+// program: RunDirect drives it from host worker goroutines, so host-side
+// concurrency and timing are legitimate there and must not be reported.
+type directKernel struct {
+	state []int
+}
+
+func (k *directKernel) Produce(dc *machine.DirectCtx, step, u int) (machine.DirectRole, int) {
+	done := make(chan struct{})
+	go func() {
+		k.state[u]++
+		close(done)
+	}()
+	<-done
+	return machine.DirectExchange, k.state[u]
+}
+
+func (k *directKernel) Absorb(dc *machine.DirectCtx, step, u int, v int) {
+	deadline := time.Now().Add(time.Millisecond)
+	_ = deadline
+	k.state[u] += v
+	dc.Ops(1)
+}
+
+func (k *directKernel) Local(dc *machine.DirectCtx, step, u int) {
+	select {
+	default:
+	}
+}
+
+// A free function with a DirectCtx param is a kernel helper, equally exempt.
+func directHelper(dc *machine.DirectCtx, scratch chan int) {
+	scratch <- 1
+	<-scratch
+}
+
+// But a node-program closure NESTED inside a kernel body is still a node
+// program: the adapter may hand it to an engine, where the discipline binds.
+func directWithNestedProgram(dc *machine.DirectCtx) func(c *machine.Ctx[int]) {
+	return func(c *machine.Ctx[int]) {
+		go func() {}() // want "spawns a goroutine"
+	}
+}

@@ -67,91 +67,139 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 	for j := range out {
 		out[j] = make([]T, N)
 	}
-	errs := make([]error, N)
-	eng, err := machine.New[[]pkt[T]](d, machine.Config{})
-	if err != nil {
-		return nil, machine.Stats{}, err
+	rk := &routeKernel[pkt[T]]{
+		d: d, mdim: m, key: key,
+		dst: func(p pkt[T]) int { return p.dst },
+		stranded: func(p pkt[T], u int) string {
+			return fmt.Sprintf("collective: all-to-all item (%d->%d) stranded at node %d", p.src, p.dst, u)
+		},
+		init: func(u, myIdx int) []pkt[T] {
+			buf := make([]pkt[T], N)
+			for j := 0; j < N; j++ {
+				buf[j] = pkt[T]{src: myIdx, dst: j, val: in[myIdx][j]}
+			}
+			return buf
+		},
+		bufs: make([][]pkt[T], N),
+		errs: make([]error, N),
 	}
-	defer eng.Release()
-	st, err := eng.Run(func(c *machine.Ctx[[]pkt[T]]) {
-		u := c.ID()
-		class := d.Class(u)
-		local := d.LocalID(u)
+	st, err := dcomm.Execute(sch, machine.Config{}, rk)
+	if err != nil {
+		return nil, st, err
+	}
+	for u := 0; u < N; u++ {
+		buf := rk.bufs[u]
 		myIdx := d.DataIndex(u)
-		x := machine.Interpret(c, sch)
-
-		buf := make([]pkt[T], N)
-		for j := 0; j < N; j++ {
-			buf[j] = pkt[T]{src: myIdx, dst: j, val: in[myIdx][j]}
-		}
-		dstNode := func(p pkt[T]) topology.NodeID { return d.NodeAtDataIndex(p.dst) }
-
-		// clusterRoute performs the m dimension-ordered routing rounds.
-		clusterRoute := func() {
-			for i := 0; i < m; i++ {
-				keep := buf[:0]
-				var send []pkt[T]
-				for _, p := range buf {
-					if key(class, dstNode(p))&(1<<i) != local&(1<<i) {
-						send = append(send, p)
-					} else {
-						keep = append(keep, p)
-					}
-				}
-				got := x.Exchange(send)
-				buf = append(keep, got...)
-				c.Ops(1)
-			}
-		}
-
-		clusterRoute()                      // phase 1
-		buf = x.Exchange(buf)               // phase 2
-		clusterRoute()                      // phase 3
-		keep := make([]pkt[T], 0, len(buf)) // phase 4
-		var send []pkt[T]
-		for _, p := range buf {
-			switch dstNode(p) {
-			case u:
-				keep = append(keep, p)
-			case d.CrossNeighbor(u):
-				send = append(send, p)
-			default:
-				// A misrouted item means the routing keys disagree with the
-				// topology; record it and drop the item — the count check
-				// below fails too, and the run reports the first error.
-				if errs[u] == nil {
-					errs[u] = fmt.Errorf("collective: all-to-all item (%d->%d) stranded at node %d", p.src, p.dst, u)
-				}
-			}
-		}
-		got := x.Exchange(send)
-		buf = append(keep, got...)
-
 		if len(buf) != N {
-			if errs[u] == nil {
-				errs[u] = fmt.Errorf("collective: node %d received %d of %d items", u, len(buf), N)
+			if rk.errs[u] == nil {
+				rk.errs[u] = fmt.Errorf("collective: node %d received %d of %d items", u, len(buf), N)
 			}
-			return
+			continue
 		}
 		row := out[myIdx]
 		for _, p := range buf {
 			if p.dst != myIdx {
-				if errs[u] == nil {
-					errs[u] = fmt.Errorf("collective: node %d holds foreign item for %d", u, p.dst)
+				if rk.errs[u] == nil {
+					rk.errs[u] = fmt.Errorf("collective: node %d holds foreign item for %d", u, p.dst)
 				}
 				continue
 			}
 			row[p.src] = p.val
 		}
-	})
-	if err != nil {
-		return nil, st, err
 	}
-	if err := firstErr(errs); err != nil {
+	if err := firstErr(rk.errs); err != nil {
 		return nil, st, err
 	}
 	return out, st, nil
 }
+
+// routeKernel is the dimension-ordered total-exchange router shared by
+// AllToAll (fixed-size pkt payloads) and AllToAllV (variable-size vpkt
+// bundles): per in-cluster round a node splits its buffer by the routing key
+// bit and exchanges the moving half, the cross rounds carry the whole
+// buffer or the cross-destined remainder. A misrouted packet is recorded in
+// errs (the host also re-checks counts and ownership after the run).
+type routeKernel[P any] struct {
+	d        *topology.DualCube
+	mdim     int
+	key      func(class int, dstNode topology.NodeID) int
+	dst      func(P) int            // destination element index
+	stranded func(P, int) string    // phase-4 misroute diagnostics
+	init     func(u, myIdx int) []P // initial buffer of node u
+	bufs     [][]P
+	errs     []error
+}
+
+func (rk *routeKernel[P]) dstNode(p P) topology.NodeID {
+	return rk.d.NodeAtDataIndex(rk.dst(p))
+}
+
+func (rk *routeKernel[P]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, []P) {
+	d := rk.d
+	if k == 0 {
+		rk.bufs[u] = rk.init(u, d.DataIndex(u))
+	}
+	switch {
+	case k == rk.mdim:
+		// Phase 2: the cross-edge carries the whole buffer.
+		return machine.DirectExchange, rk.bufs[u]
+	case k < rk.mdim, k <= 2*rk.mdim:
+		// Phases 1 and 3: one dimension-ordered routing round; items whose
+		// key differs at the step's bit move to the partner.
+		i := k
+		if i > rk.mdim {
+			i = k - rk.mdim - 1
+		}
+		class, local := d.Class(u), d.LocalID(u)
+		keep := rk.bufs[u][:0]
+		var send []P
+		for _, p := range rk.bufs[u] {
+			if rk.key(class, rk.dstNode(p))&(1<<i) != local&(1<<i) {
+				send = append(send, p)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		rk.bufs[u] = keep
+		return machine.DirectExchange, send
+	default:
+		// Phase 4: deliver the cross-destined remainder; everything else
+		// must already be home.
+		keep := make([]P, 0, len(rk.bufs[u]))
+		var send []P
+		cross := d.CrossNeighbor(u)
+		for _, p := range rk.bufs[u] {
+			switch rk.dstNode(p) {
+			case topology.NodeID(u):
+				keep = append(keep, p)
+			case cross:
+				send = append(send, p)
+			default:
+				// A misrouted item means the routing keys disagree with the
+				// topology; record it and drop the item — the host's count
+				// check fails too, and the run reports the first error.
+				if rk.errs[u] == nil {
+					rk.errs[u] = fmt.Errorf("%s", rk.stranded(p, u))
+				}
+			}
+		}
+		rk.bufs[u] = keep
+		return machine.DirectExchange, send
+	}
+}
+
+func (rk *routeKernel[P]) Absorb(dc *machine.DirectCtx, k, u int, v []P) {
+	if k == rk.mdim {
+		rk.bufs[u] = v
+		return
+	}
+	rk.bufs[u] = append(rk.bufs[u], v...)
+	if k < 2*rk.mdim+1 {
+		dc.Ops(1)
+	}
+}
+
+func (rk *routeKernel[P]) Local(dc *machine.DirectCtx, k, u int) {}
 
 // ReduceScatter combines the element-wise contributions of all nodes and
 // leaves each node with its own combined element: out[j] = in[0][j] ⊕

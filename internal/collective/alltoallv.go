@@ -50,83 +50,47 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 	for j := range out {
 		out[j] = make([][]T, N)
 	}
-	errs := make([]error, N)
-	eng, err := machine.New[[]vpkt[T]](d, machine.Config{})
-	if err != nil {
-		return nil, machine.Stats{}, err
+	rk := &routeKernel[vpkt[T]]{
+		d: d, mdim: m, key: key,
+		dst: func(p vpkt[T]) int { return p.dst },
+		stranded: func(p vpkt[T], u int) string {
+			return fmt.Sprintf("collective: all-to-all-v bundle (%d->%d) stranded at node %d", p.src, p.dst, u)
+		},
+		init: func(u, myIdx int) []vpkt[T] {
+			buf := make([]vpkt[T], 0, N)
+			for j := 0; j < N; j++ {
+				buf = append(buf, vpkt[T]{src: myIdx, dst: j, vals: in[myIdx][j]})
+			}
+			return buf
+		},
+		bufs: make([][]vpkt[T], N),
+		errs: make([]error, N),
 	}
-	defer eng.Release()
-	st, err := eng.Run(func(c *machine.Ctx[[]vpkt[T]]) {
-		u := c.ID()
-		class := d.Class(u)
-		local := d.LocalID(u)
+	st, err := dcomm.Execute(sch, machine.Config{}, rk)
+	if err != nil {
+		return nil, st, err
+	}
+	for u := 0; u < N; u++ {
+		buf := rk.bufs[u]
 		myIdx := d.DataIndex(u)
-		x := machine.Interpret(c, sch)
-
-		buf := make([]vpkt[T], 0, N)
-		for j := 0; j < N; j++ {
-			buf = append(buf, vpkt[T]{src: myIdx, dst: j, vals: in[myIdx][j]})
-		}
-		dstNode := func(p vpkt[T]) topology.NodeID { return d.NodeAtDataIndex(p.dst) }
-
-		clusterRoute := func() {
-			for i := 0; i < m; i++ {
-				keep := buf[:0]
-				var send []vpkt[T]
-				for _, p := range buf {
-					if key(class, dstNode(p))&(1<<i) != local&(1<<i) {
-						send = append(send, p)
-					} else {
-						keep = append(keep, p)
-					}
-				}
-				got := x.Exchange(send)
-				buf = append(keep, got...)
-				c.Ops(1)
-			}
-		}
-
-		clusterRoute()                       // phase 1
-		buf = x.Exchange(buf)                // phase 2
-		clusterRoute()                       // phase 3
-		keep := make([]vpkt[T], 0, len(buf)) // phase 4
-		var send []vpkt[T]
-		for _, p := range buf {
-			switch dstNode(p) {
-			case u:
-				keep = append(keep, p)
-			case d.CrossNeighbor(u):
-				send = append(send, p)
-			default:
-				if errs[u] == nil {
-					errs[u] = fmt.Errorf("collective: all-to-all-v bundle (%d->%d) stranded at node %d", p.src, p.dst, u)
-				}
-			}
-		}
-		got := x.Exchange(send)
-		buf = append(keep, got...)
-
 		if len(buf) != N {
-			if errs[u] == nil {
-				errs[u] = fmt.Errorf("collective: node %d received %d of %d bundles", u, len(buf), N)
+			if rk.errs[u] == nil {
+				rk.errs[u] = fmt.Errorf("collective: node %d received %d of %d bundles", u, len(buf), N)
 			}
-			return
+			continue
 		}
 		row := out[myIdx]
 		for _, p := range buf {
 			if p.dst != myIdx {
-				if errs[u] == nil {
-					errs[u] = fmt.Errorf("collective: node %d holds foreign bundle for %d", u, p.dst)
+				if rk.errs[u] == nil {
+					rk.errs[u] = fmt.Errorf("collective: node %d holds foreign bundle for %d", u, p.dst)
 				}
 				continue
 			}
 			row[p.src] = p.vals
 		}
-	})
-	if err != nil {
-		return nil, st, err
 	}
-	if err := firstErr(errs); err != nil {
+	if err := firstErr(rk.errs); err != nil {
 		return nil, st, err
 	}
 	return out, st, nil

@@ -10,10 +10,13 @@
 // D_n, so each collective is asymptotically optimal.
 //
 // Each operation's skeleton is compiled once per order into a shared
-// machine.Schedule (dcomm.Compiled) and the node programs walk it through an
-// Exec cursor: the schedule supplies each step's partner, the program
-// supplies the per-step role (send, receive, exchange, idle) and the payload
-// logic.
+// machine.Schedule (dcomm.Compiled) and the operation itself is a
+// machine.DirectKernel: per step the kernel supplies each node's role (send,
+// receive, exchange, idle) and payload, the schedule supplies the partner.
+// dcomm.Execute routes every kernel — through the direct array executor by
+// default, or through a simulator engine running the identical kernel when
+// an engine scheduler is selected — so both execution paths are one
+// algorithm per operation.
 package collective
 
 import (
@@ -56,104 +59,101 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 	rootLocal := d.LocalID(root)
 
 	out := make([]T, d.Nodes())
-	errs := make([]error, d.Nodes())
-	eng, err := machine.New[T](d, machine.Config{})
-	if err != nil {
-		return nil, machine.Stats{}, err
+	bk := &broadcastKernel[T]{
+		d: d, mdim: m, root: root,
+		rootClass: rootClass, rootCluster: rootCluster, rootLocal: rootLocal,
+		out: out, have: make([]bool, d.Nodes()),
 	}
-	defer eng.Release()
-	st, err := eng.Run(func(c *machine.Ctx[T]) {
-		u := c.ID()
-		class, local := d.Class(u), d.LocalID(u)
-		x := machine.Interpret(c, sch)
-		var v T
-		have := u == root
-		if have {
-			v = value
+	bk.have[root] = true
+	out[root] = value
+	st, err := dcomm.Execute(sch, machine.Config{}, bk)
+	if err != nil {
+		return nil, st, err
+	}
+	for u := range bk.have {
+		if !bk.have[u] {
+			return nil, st, fmt.Errorf("collective: node %d did not receive the broadcast", u)
 		}
+	}
+	return out, st, nil
+}
 
+// broadcastKernel is the binomial flood as a kernel. The value lives
+// directly in out; have marks delivery so late duplicate receives (phase 4
+// covers root's own cluster again, keeping the schedule uniform) are
+// discarded, and the host verifies every node was reached after the run.
+type broadcastKernel[T any] struct {
+	d           *topology.DualCube
+	mdim        int
+	root        topology.NodeID
+	rootClass   int
+	rootCluster int
+	rootLocal   int
+	out         []T
+	have        []bool
+}
+
+func (bk *broadcastKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, T) {
+	d := bk.d
+	class, local := d.Class(u), d.LocalID(u)
+	have := bk.have[u]
+	switch {
+	case k < bk.mdim:
 		// Phase 1: flood root's cluster. At step i, holders are the nodes of
 		// root's cluster whose local ID matches rootLocal on bits >= i; each
 		// holder sends along dimension i to the node differing at bit i.
-		inRootCluster := class == rootClass && d.ClusterID(u) == rootCluster
-		for i := 0; i < m; i++ {
-			if inRootCluster {
-				mask := ^((1 << (i + 1)) - 1) // bits above i
-				if have && local&(1<<i) == rootLocal&(1<<i) {
-					x.Send(v)
-				} else if !have && local&mask == rootLocal&mask {
-					v = x.Recv()
-					have = true
-				} else {
-					x.Idle()
-				}
-			} else {
-				x.Idle()
+		if class == bk.rootClass && d.ClusterID(u) == bk.rootCluster {
+			i := k
+			mask := ^((1 << (i + 1)) - 1) // bits above i
+			if have && local&(1<<i) == bk.rootLocal&(1<<i) {
+				return machine.DirectSend, bk.out[u]
+			} else if !have && local&mask == bk.rootLocal&mask {
+				return machine.DirectRecv, bk.out[u]
 			}
 		}
-
+	case k == bk.mdim:
 		// Phase 2: root's cluster crosses over. The cross image of root's
 		// cluster is one node in every opposite-class cluster, namely the
 		// node whose local ID equals root's cluster ID (the cross-edge
 		// swaps the roles of the two address fields).
-		if inRootCluster {
-			x.Send(v)
-		} else if class != rootClass && local == rootCluster {
-			v = x.Recv()
-			have = true
-		} else {
-			x.Idle()
+		if class == bk.rootClass && d.ClusterID(u) == bk.rootCluster {
+			return machine.DirectSend, bk.out[u]
+		} else if class != bk.rootClass && local == bk.rootCluster {
+			return machine.DirectRecv, bk.out[u]
 		}
-
+	case k <= 2*bk.mdim:
 		// Phase 3: flood every cluster of the other class from its seed,
 		// which sits at local index rootCluster in each of them.
-		if class != rootClass {
-			seedLocal := rootCluster
-			for i := 0; i < m; i++ {
-				mask := ^((1 << (i + 1)) - 1)
-				if have && local&(1<<i) == seedLocal&(1<<i) {
-					x.Send(v)
-				} else if !have && local&mask == seedLocal&mask {
-					v = x.Recv()
-					have = true
-				} else {
-					x.Idle()
-				}
-			}
-		} else {
-			for i := 0; i < m; i++ {
-				x.Idle()
+		if class != bk.rootClass {
+			i := k - bk.mdim - 1
+			seedLocal := bk.rootCluster
+			mask := ^((1 << (i + 1)) - 1)
+			if have && local&(1<<i) == seedLocal&(1<<i) {
+				return machine.DirectSend, bk.out[u]
+			} else if !have && local&mask == seedLocal&mask {
+				return machine.DirectRecv, bk.out[u]
 			}
 		}
-
+	default:
 		// Phase 4: the other class crosses back, covering every node of
 		// root's class (including root's own cluster, which already has the
-		// value — those sends are received and discarded to keep the links
-		// clean and the schedule uniform).
-		if class != rootClass {
-			x.Send(v)
-		} else {
-			w := x.Recv()
-			if !have {
-				v = w
-				have = true
-			}
+		// value — those sends are received and discarded).
+		if class != bk.rootClass {
+			return machine.DirectSend, bk.out[u]
 		}
-
-		if !have {
-			errs[u] = fmt.Errorf("collective: node %d did not receive the broadcast", u)
-			return
-		}
-		out[u] = v
-	})
-	if err != nil {
-		return nil, st, err
+		return machine.DirectRecv, bk.out[u]
 	}
-	if err := firstErr(errs); err != nil {
-		return nil, st, err
-	}
-	return out, st, nil
+	return machine.DirectIdle, bk.out[u]
 }
+
+func (bk *broadcastKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v T) {
+	if !bk.have[u] {
+		bk.out[u] = v
+		bk.have[u] = true
+	}
+}
+
+func (bk *broadcastKernel[T]) Local(dc *machine.DirectCtx, k, u int) {}
 
 // AllReduce combines every node's value with ⊕ and delivers the total to
 // all nodes in 2n communication steps: recursive-doubling all-reduce inside
@@ -177,54 +177,76 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 		return nil, machine.Stats{}, err
 	}
 	out := make([]T, d.Nodes())
-	eng, err := machine.New[T](d, machine.Config{})
-	if err != nil {
-		return nil, machine.Stats{}, err
+	ak := &allReduceKernel[T]{
+		d: d, m: m, mdim: mdim,
+		in: in, out: out, t: make([]T, d.Nodes()),
 	}
-	defer eng.Release()
-	st, err := eng.Run(func(c *machine.Ctx[T]) {
-		u := c.ID()
-		local := d.LocalID(u)
-		x := machine.Interpret(c, sch)
-		// t: ordered all-reduce within the cluster (order = local index,
-		// which is element order within the block).
-		t := in[d.DataIndex(u)]
-		for i := 0; i < mdim; i++ {
-			temp := x.Exchange(t)
-			if local&(1<<i) != 0 {
-				t = m.Combine(temp, t)
-			} else {
-				t = m.Combine(t, temp)
-			}
-			c.Ops(1)
-		}
-		// Cross totals, then all-reduce them in cluster-index order.
-		t2 := x.Exchange(t)
-		for i := 0; i < mdim; i++ {
-			temp := x.Exchange(t2)
-			if local&(1<<i) != 0 {
-				t2 = m.Combine(temp, t2)
-			} else {
-				t2 = m.Combine(t2, temp)
-			}
-			c.Ops(1)
-		}
-		// t2 is now the grand total of the OTHER class. Swap grand totals
-		// across the cross-edge and combine in class order.
-		other := x.Exchange(t2)
-		// At a class-0 node: t2 = total(class 1), other = total(class 0).
-		// At a class-1 node: t2 = total(class 0), other = total(class 1).
-		if d.Class(u) == 0 {
-			out[u] = m.Combine(other, t2)
-		} else {
-			out[u] = m.Combine(t2, other)
-		}
-		x.LocalOps(1)
-	})
+	st, err := dcomm.Execute(sch, machine.Config{}, ak)
 	if err != nil {
 		return nil, st, err
 	}
 	return out, st, nil
+}
+
+// allReduceKernel is the double recursive-doubling all-reduce as a kernel.
+// t carries the in-cluster running total, then (after the first cross hop)
+// the other class's running total; the received grand total of this node's
+// own class parks in out until the final class-order combine.
+type allReduceKernel[T any] struct {
+	d    *topology.DualCube
+	m    monoid.Monoid[T]
+	mdim int
+	in   []T
+	out  []T
+	t    []T
+}
+
+func (ak *allReduceKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, T) {
+	if k == 0 {
+		// Ordered all-reduce within the cluster (order = local index, which
+		// is element order within the block).
+		ak.t[u] = ak.in[ak.d.DataIndex(u)]
+	}
+	return machine.DirectExchange, ak.t[u]
+}
+
+func (ak *allReduceKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v T) {
+	m := ak.m
+	local := ak.d.LocalID(u)
+	switch {
+	case k < ak.mdim:
+		if local&(1<<k) != 0 {
+			ak.t[u] = m.Combine(v, ak.t[u])
+		} else {
+			ak.t[u] = m.Combine(ak.t[u], v)
+		}
+		dc.Ops(1)
+	case k == ak.mdim:
+		// Cross totals; all-reduce them in cluster-index order next.
+		ak.t[u] = v
+	case k <= 2*ak.mdim:
+		if i := k - ak.mdim - 1; local&(1<<i) != 0 {
+			ak.t[u] = m.Combine(v, ak.t[u])
+		} else {
+			ak.t[u] = m.Combine(ak.t[u], v)
+		}
+		dc.Ops(1)
+	default:
+		// t is now the grand total of the OTHER class; v is the grand total
+		// of this node's own class, swapped back over the cross-edge.
+		ak.out[u] = v
+	}
+}
+
+func (ak *allReduceKernel[T]) Local(dc *machine.DirectCtx, k, u int) {
+	// At a class-0 node: t = total(class 1), out = total(class 0) — and the
+	// mirror at class 1 — so both classes combine in class order.
+	if ak.d.Class(u) == 0 {
+		ak.out[u] = ak.m.Combine(ak.out[u], ak.t[u])
+	} else {
+		ak.out[u] = ak.m.Combine(ak.t[u], ak.out[u])
+	}
+	dc.Ops(1)
 }
 
 // Reduce combines every node's value in element order and returns the

@@ -66,120 +66,149 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 	rootLocal := d.LocalID(root)
 
 	out := make([]T, d.Nodes())
-	errs := make([]error, d.Nodes())
-	eng, err := machine.New[[]item[T]](d, machine.Config{LinkCapacity: 4})
-	if err != nil {
-		return nil, machine.Stats{}, err
+	gk := &gatherKernel[T]{
+		d: d, sch: sch, mdim: m, root: root,
+		rootClass: rootClass, rootCluster: rootCluster, rootLocal: rootLocal,
+		in: in, bundles: make([][]item[T], d.Nodes()),
 	}
-	defer eng.Release()
-	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
-		u := c.ID()
-		class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
-		x := machine.Interpret(c, sch)
-		// The collector position inside this node's cluster.
-		target := rootLocal
-		if class != rootClass {
-			target = rootCluster
-		}
-		bundle := []item[T]{{idx: d.DataIndex(u), val: in[d.DataIndex(u)]}}
-
-		// Phase 1: binomial gather of the cluster block toward target
-		// (reverse flood: the schedule descends dimensions m-1 down to 0).
-		gatherRound := func(tgt int) {
-			i := x.Dim()
-			maskAbove := ^((1 << (i + 1)) - 1)
-			if local&maskAbove != tgt&maskAbove {
-				x.Idle() // already out of the collection tree at this level
-				return
-			}
-			if local&(1<<i) != tgt&(1<<i) {
-				x.Send(bundle)
-				bundle = nil
-			} else {
-				recv := x.Recv()
-				bundle = mergeItems(bundle, recv)
-				c.Ops(1)
-			}
-		}
-		for i := 0; i < m; i++ {
-			gatherRound(target)
-		}
-
-		// Phase 2: collectors hop their cross-edges. Receivers are the
-		// cross images: in the opposite class the nodes with local index
-		// rootLocal inside... precisely, a node receives iff its cross
-		// neighbor is a collector of its own cluster.
-		cross := d.CrossNeighbor(u)
-		isCollector := local == target && bundle != nil
-		crossIsCollector := func() bool {
-			cc, cl := d.Class(cross), d.LocalID(cross)
-			t := rootLocal
-			if cc != rootClass {
-				t = rootCluster
-			}
-			return cl == t
-		}()
-		switch {
-		case isCollector && crossIsCollector:
-			recv := x.SendRecv(bundle)
-			bundle = recv
-			c.Ops(1)
-		case isCollector:
-			x.Send(bundle)
-			bundle = nil
-		case crossIsCollector:
-			bundle = x.Recv()
-		default:
-			x.Idle()
-		}
-
-		// Phase 3: two clusters gather the phase-2 bundles concurrently:
-		// root's cluster (toward root) and the opposite-class cluster with
-		// ID rootLocal's counterpart (toward root's cross neighbor).
-		inRootCluster := class == rootClass && cluster == rootCluster
-		inMirrorCluster := class != rootClass && cluster == rootLocal
-		if inRootCluster || inMirrorCluster {
-			tgt := rootLocal
-			if inMirrorCluster {
-				tgt = rootCluster
-			}
-			for i := 0; i < m; i++ {
-				gatherRound(tgt)
-			}
-		} else {
-			for i := 0; i < m; i++ {
-				x.Idle()
-			}
-		}
-
-		// Phase 4: root's cross neighbor delivers the mega-bundle.
-		switch u {
-		case d.CrossNeighbor(root):
-			x.Send(bundle)
-			bundle = nil
-		case root:
-			recv := x.Recv()
-			bundle = mergeItems(bundle, recv)
-			c.Ops(1)
-		default:
-			x.Idle()
-		}
-
-		if u == root {
-			if len(bundle) != d.Nodes() {
-				errs[u] = fmt.Errorf("collective: gather delivered %d of %d items", len(bundle), d.Nodes())
-				return
-			}
-			for _, it := range bundle {
-				out[it.idx] = it.val
-			}
-		}
-	})
+	// LinkCapacity only matters on the engine fallback path, where the
+	// bundle-bearing cross hops queue more than one message per link.
+	st, err := dcomm.Execute(sch, machine.Config{LinkCapacity: 4}, gk)
 	if err != nil {
 		return nil, st, err
 	}
-	if err := firstErr(errs); err != nil {
-		return nil, st, err
+	bundle := gk.bundles[root]
+	if len(bundle) != d.Nodes() {
+		return nil, st, fmt.Errorf("collective: gather delivered %d of %d items", len(bundle), d.Nodes())
+	}
+	for _, it := range bundle {
+		out[it.idx] = it.val
 	}
 	return out, st, nil
 }
+
+// gatherKernel is the binomial fan-in as a kernel. A node's bundle is nil
+// exactly when it has handed its items up the collection tree — which also
+// disambiguates the phase-2 roles during Absorb: the bundle of a collector
+// that exchanged with its cross collector is still non-nil, a bare
+// receiver's is nil.
+type gatherKernel[T any] struct {
+	d           *topology.DualCube
+	sch         *machine.Schedule
+	mdim        int
+	root        topology.NodeID
+	rootClass   int
+	rootCluster int
+	rootLocal   int
+	in          []T
+	bundles     [][]item[T]
+}
+
+// gatherRole is one level of the collection tree at node u: the schedule
+// supplies the descending dimension, target is the collector's local index.
+func (gk *gatherKernel[T]) gatherRole(k, u, tgt int) machine.DirectRole {
+	i := gk.sch.Steps[k].Dim
+	local := gk.d.LocalID(u)
+	maskAbove := ^((1 << (i + 1)) - 1)
+	if local&maskAbove != tgt&maskAbove {
+		return machine.DirectIdle // already out of the collection tree at this level
+	}
+	if local&(1<<i) != tgt&(1<<i) {
+		return machine.DirectSend
+	}
+	return machine.DirectRecv
+}
+
+// target returns the collector position inside node u's cluster.
+func (gk *gatherKernel[T]) target(u int) int {
+	if gk.d.Class(u) != gk.rootClass {
+		return gk.rootCluster
+	}
+	return gk.rootLocal
+}
+
+func (gk *gatherKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, []item[T]) {
+	d := gk.d
+	if k == 0 {
+		idx := d.DataIndex(u)
+		gk.bundles[u] = []item[T]{{idx: idx, val: gk.in[idx]}}
+	}
+	switch {
+	case k < gk.mdim:
+		// Phase 1: binomial gather of the cluster block toward the target
+		// (reverse flood: the schedule descends dimensions m-1 down to 0).
+		role := gk.gatherRole(k, u, gk.target(u))
+		b := gk.bundles[u]
+		if role == machine.DirectSend {
+			gk.bundles[u] = nil
+		}
+		return role, b
+	case k == gk.mdim:
+		// Phase 2: collectors hop their cross-edges; a node receives iff its
+		// cross neighbor is a collector of its own cluster.
+		cross := d.CrossNeighbor(u)
+		isCollector := d.LocalID(u) == gk.target(u) && gk.bundles[u] != nil
+		crossIsCollector := d.LocalID(cross) == gk.target(cross)
+		b := gk.bundles[u]
+		switch {
+		case isCollector && crossIsCollector:
+			return machine.DirectExchange, b
+		case isCollector:
+			gk.bundles[u] = nil
+			return machine.DirectSend, b
+		case crossIsCollector:
+			return machine.DirectRecv, b
+		}
+		return machine.DirectIdle, b
+	case k <= 2*gk.mdim:
+		// Phase 3: two clusters gather the phase-2 bundles concurrently:
+		// root's cluster (toward root) and the opposite-class mirror cluster
+		// (toward root's cross neighbor).
+		class, cluster := d.Class(u), d.ClusterID(u)
+		inRootCluster := class == gk.rootClass && cluster == gk.rootCluster
+		inMirrorCluster := class != gk.rootClass && cluster == gk.rootLocal
+		if !inRootCluster && !inMirrorCluster {
+			return machine.DirectIdle, nil
+		}
+		tgt := gk.rootLocal
+		if inMirrorCluster {
+			tgt = gk.rootCluster
+		}
+		role := gk.gatherRole(k, u, tgt)
+		b := gk.bundles[u]
+		if role == machine.DirectSend {
+			gk.bundles[u] = nil
+		}
+		return role, b
+	default:
+		// Phase 4: root's cross neighbor delivers the mega-bundle.
+		switch u {
+		case d.CrossNeighbor(gk.root):
+			b := gk.bundles[u]
+			gk.bundles[u] = nil
+			return machine.DirectSend, b
+		case gk.root:
+			return machine.DirectRecv, nil
+		}
+		return machine.DirectIdle, nil
+	}
+}
+
+func (gk *gatherKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v []item[T]) {
+	if k == gk.mdim {
+		// Phase 2 cross hop: collectors exchanging with their cross
+		// collector count the swap as a round of work; bare receivers (bundle
+		// already nil) just adopt the incoming bundle.
+		if gk.bundles[u] != nil {
+			gk.bundles[u] = v
+			dc.Ops(1)
+		} else {
+			gk.bundles[u] = v
+		}
+		return
+	}
+	gk.bundles[u] = mergeItems(gk.bundles[u], v)
+	dc.Ops(1)
+}
+
+func (gk *gatherKernel[T]) Local(dc *machine.DirectCtx, k, u int) {}

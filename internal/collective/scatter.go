@@ -52,127 +52,137 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 	rootLocal := d.LocalID(root)
 
 	out := make([]T, d.Nodes())
-	errs := make([]error, d.Nodes())
-	eng, err := machine.New[[]item[T]](d, machine.Config{})
-	if err != nil {
-		return nil, machine.Stats{}, err
+	sk := &scatterKernel[T]{
+		d: d, sch: sch, mdim: m, root: root,
+		rootClass: rootClass, rootCluster: rootCluster, rootLocal: rootLocal,
+		in: in, bundles: make([][]item[T], d.Nodes()),
 	}
-	defer eng.Release()
-	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
-		u := c.ID()
-		class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
-		x := machine.Interpret(c, sch)
-
-		var bundle []item[T]
-		if u == root {
-			bundle = make([]item[T], len(in))
-			for idx, v := range in {
-				bundle[idx] = item[T]{idx: idx, val: v}
-			}
-		}
-		destNode := func(it item[T]) topology.NodeID { return d.NodeAtDataIndex(it.idx) }
-
-		// Phase 1: root keeps the opposite class, exports its own class.
-		switch u {
-		case root:
-			keep, send := partitionItems(bundle, func(it item[T]) bool {
-				return d.Class(destNode(it)) != rootClass
-			})
-			x.Send(send)
-			bundle = keep
-		case d.CrossNeighbor(root):
-			bundle = x.Recv()
-		default:
-			x.Idle()
-		}
-
-		// Phase 2: split by destination cluster inside root's cluster and
-		// the mirror cluster (flood with splitting: seed locals are
-		// rootLocal and rootCluster respectively, and the responsible
-		// member for a destination cluster x is the member with local x).
-		inRootCluster := class == rootClass && cluster == rootCluster
-		inMirrorCluster := class != rootClass && cluster == rootLocal
-		// splitRound is one level of the fan-out tree: the schedule ascends
-		// the dimensions, and at level i the active subtree is the set of
-		// locals matching the seed on bits above i (the holders halve their
-		// bundles toward the bit-i partner). This is the exact reverse of
-		// Gather's fan-in.
-		splitRound := func(seed int, key func(item[T]) int) {
-			i := x.Dim()
-			maskAbove := ^((1 << (i + 1)) - 1)
-			if local&maskAbove != seed&maskAbove {
-				x.Idle() // this subtree receives its share in a later round
-				return
-			}
-			if local&(1<<i) == seed&(1<<i) {
-				// Holder: keep items whose key matches this side of bit i.
-				keep, send := partitionItems(bundle, func(it item[T]) bool {
-					return key(it)&(1<<i) == local&(1<<i)
-				})
-				x.Send(send)
-				bundle = keep
-			} else {
-				bundle = x.Recv()
-			}
-		}
-		clusterKey := func(it item[T]) int { return d.ClusterID(destNode(it)) }
-		if inRootCluster {
-			for i := 0; i < m; i++ {
-				splitRound(rootLocal, clusterKey)
-			}
-		} else if inMirrorCluster {
-			for i := 0; i < m; i++ {
-				splitRound(rootCluster, clusterKey)
-			}
-		} else {
-			for i := 0; i < m; i++ {
-				x.Idle()
-			}
-		}
-
-		// Phase 3: hand each destination cluster's block to its seed over
-		// the cross-edges. Receivers are the seeds: local == rootCluster in
-		// the class opposite root, local == rootLocal in root's class.
-		isSeed := (class == rootClass && local == rootLocal) ||
-			(class != rootClass && local == rootCluster)
-		isSender := inRootCluster || inMirrorCluster
-		switch {
-		case isSender && isSeed:
-			bundle = x.SendRecv(bundle)
-		case isSender:
-			x.Send(bundle)
-			bundle = nil
-		case isSeed:
-			bundle = x.Recv()
-		default:
-			x.Idle()
-		}
-
-		// Phase 4: every cluster splits its block from its seed down to
-		// single elements.
-		seed := rootLocal
-		if class != rootClass {
-			seed = rootCluster
-		}
-		localKey := func(it item[T]) int { return d.LocalID(destNode(it)) }
-		for i := 0; i < m; i++ {
-			splitRound(seed, localKey)
-		}
-
-		if len(bundle) != 1 || destNode(bundle[0]) != u {
-			errs[u] = fmt.Errorf("collective: scatter delivered %d item(s) to node %d", len(bundle), u)
-			return
-		}
-		out[u] = bundle[0].val
-	})
+	st, err := dcomm.Execute(sch, machine.Config{}, sk)
 	if err != nil {
 		return nil, st, err
 	}
-	if err := firstErr(errs); err != nil {
-		return nil, st, err
+	for u := 0; u < d.Nodes(); u++ {
+		b := sk.bundles[u]
+		if len(b) != 1 || d.NodeAtDataIndex(b[0].idx) != u {
+			return nil, st, fmt.Errorf("collective: scatter delivered %d item(s) to node %d", len(b), u)
+		}
+		out[u] = b[0].val
 	}
 	return out, st, nil
 }
+
+// scatterKernel is the splitting fan-out as a kernel — the exact reverse of
+// gatherKernel's fan-in. Every receive simply adopts the incoming bundle
+// (the sender partitioned it), so Absorb is a plain replacement and the
+// host verifies each node ends with exactly its own element.
+type scatterKernel[T any] struct {
+	d           *topology.DualCube
+	sch         *machine.Schedule
+	mdim        int
+	root        topology.NodeID
+	rootClass   int
+	rootCluster int
+	rootLocal   int
+	in          []T
+	bundles     [][]item[T]
+}
+
+func (sk *scatterKernel[T]) destNode(it item[T]) topology.NodeID {
+	return sk.d.NodeAtDataIndex(it.idx)
+}
+
+// splitRole is one level of the fan-out tree at node u: the schedule ascends
+// the dimensions, and at level i the active subtree is the set of locals
+// matching the seed on bits above i (the holders halve their bundles toward
+// the bit-i partner). Holders partition their bundle by key and send the
+// other half.
+func (sk *scatterKernel[T]) splitRole(k, u, seed int, key func(item[T]) int) (machine.DirectRole, []item[T]) {
+	i := sk.sch.Steps[k].Dim
+	local := sk.d.LocalID(u)
+	maskAbove := ^((1 << (i + 1)) - 1)
+	if local&maskAbove != seed&maskAbove {
+		return machine.DirectIdle, nil // this subtree receives its share in a later round
+	}
+	if local&(1<<i) == seed&(1<<i) {
+		// Holder: keep items whose key matches this side of bit i.
+		keep, send := partitionItems(sk.bundles[u], func(it item[T]) bool {
+			return key(it)&(1<<i) == local&(1<<i)
+		})
+		sk.bundles[u] = keep
+		return machine.DirectSend, send
+	}
+	return machine.DirectRecv, nil
+}
+
+func (sk *scatterKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, []item[T]) {
+	d := sk.d
+	class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
+	inRootCluster := class == sk.rootClass && cluster == sk.rootCluster
+	inMirrorCluster := class != sk.rootClass && cluster == sk.rootLocal
+	switch {
+	case k == 0:
+		// Phase 1: root keeps the opposite class, exports its own class.
+		switch u {
+		case sk.root:
+			bundle := make([]item[T], len(sk.in))
+			for idx, v := range sk.in {
+				bundle[idx] = item[T]{idx: idx, val: v}
+			}
+			keep, send := partitionItems(bundle, func(it item[T]) bool {
+				return d.Class(sk.destNode(it)) != sk.rootClass
+			})
+			sk.bundles[u] = keep
+			return machine.DirectSend, send
+		case d.CrossNeighbor(sk.root):
+			return machine.DirectRecv, nil
+		}
+		return machine.DirectIdle, nil
+	case k <= sk.mdim:
+		// Phase 2: split by destination cluster inside root's cluster and
+		// the mirror cluster (seed locals rootLocal and rootCluster; the
+		// responsible member for destination cluster x has local x).
+		clusterKey := func(it item[T]) int { return d.ClusterID(sk.destNode(it)) }
+		if inRootCluster {
+			return sk.splitRole(k, u, sk.rootLocal, clusterKey)
+		}
+		if inMirrorCluster {
+			return sk.splitRole(k, u, sk.rootCluster, clusterKey)
+		}
+		return machine.DirectIdle, nil
+	case k == sk.mdim+1:
+		// Phase 3: hand each destination cluster's block to its seed over
+		// the cross-edges. Receivers are the seeds: local == rootCluster in
+		// the class opposite root, local == rootLocal in root's class.
+		isSeed := (class == sk.rootClass && local == sk.rootLocal) ||
+			(class != sk.rootClass && local == sk.rootCluster)
+		isSender := inRootCluster || inMirrorCluster
+		b := sk.bundles[u]
+		switch {
+		case isSender && isSeed:
+			return machine.DirectExchange, b
+		case isSender:
+			sk.bundles[u] = nil
+			return machine.DirectSend, b
+		case isSeed:
+			return machine.DirectRecv, nil
+		}
+		return machine.DirectIdle, nil
+	default:
+		// Phase 4: every cluster splits its block from its seed down to
+		// single elements.
+		seed := sk.rootLocal
+		if class != sk.rootClass {
+			seed = sk.rootCluster
+		}
+		return sk.splitRole(k, u, seed, func(it item[T]) int { return d.LocalID(sk.destNode(it)) })
+	}
+}
+
+func (sk *scatterKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v []item[T]) {
+	sk.bundles[u] = v
+}
+
+func (sk *scatterKernel[T]) Local(dc *machine.DirectCtx, k, u int) {}
 
 // AllGather delivers every node's element to every node (in element
 // order), in 2n communication steps: in-cluster all-gather (n-1 steps,
@@ -190,45 +200,66 @@ func AllGather[T any](n int, in []T) ([][]T, machine.Stats, error) {
 		return nil, machine.Stats{}, err
 	}
 	out := make([][]T, d.Nodes())
-	eng, err := machine.New[[]item[T]](d, machine.Config{})
-	if err != nil {
-		return nil, machine.Stats{}, err
+	agk := &allGatherKernel[T]{
+		d: d, mdim: m, in: in, out: out,
+		bundles: make([][]item[T], d.Nodes()),
+		others:  make([][]item[T], d.Nodes()),
 	}
-	defer eng.Release()
-	st, err := eng.Run(func(c *machine.Ctx[[]item[T]]) {
-		u := c.ID()
-		idx := d.DataIndex(u)
-		x := machine.Interpret(c, sch)
-		bundle := []item[T]{{idx: idx, val: in[idx]}}
-
-		// Phase 1: all-gather the block within the cluster.
-		for i := 0; i < m; i++ {
-			got := x.Exchange(bundle)
-			bundle = mergeItems(bundle, got)
-			c.Ops(1)
-		}
-		// Phase 2: swap blocks over the cross-edge.
-		other := x.Exchange(bundle)
-		// Phase 3: all-gather the received blocks — every node of the
-		// cluster ends with the complete opposite class.
-		for i := 0; i < m; i++ {
-			got := x.Exchange(other)
-			other = mergeItems(other, got)
-			c.Ops(1)
-		}
-		// Phase 4: swap class halves; the union is the whole sequence.
-		own := x.Exchange(other)
-		all := mergeItems(own, other)
-		x.LocalOps(1)
-
-		res := make([]T, d.Nodes())
-		for _, it := range all {
-			res[it.idx] = it.val
-		}
-		out[u] = res
-	})
+	st, err := dcomm.Execute(sch, machine.Config{}, agk)
 	if err != nil {
 		return nil, st, err
 	}
 	return out, st, nil
+}
+
+// allGatherKernel doubles bundles along the cluster sweeps: bundle grows to
+// the node's own class block, other to the complete opposite class, and the
+// final cross swap plus local merge assembles the whole sequence per node.
+type allGatherKernel[T any] struct {
+	d       *topology.DualCube
+	mdim    int
+	in      []T
+	out     [][]T
+	bundles [][]item[T] // own-class growth, then the fully merged sequence
+	others  [][]item[T] // opposite-class growth after the first cross swap
+}
+
+func (agk *allGatherKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, []item[T]) {
+	if k == 0 {
+		idx := agk.d.DataIndex(u)
+		agk.bundles[u] = []item[T]{{idx: idx, val: agk.in[idx]}}
+	}
+	if k <= agk.mdim {
+		// Phases 1-2: all-gather the block within the cluster, then swap
+		// blocks over the cross-edge.
+		return machine.DirectExchange, agk.bundles[u]
+	}
+	// Phases 3-4: all-gather the received blocks, then swap class halves.
+	return machine.DirectExchange, agk.others[u]
+}
+
+func (agk *allGatherKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v []item[T]) {
+	switch {
+	case k < agk.mdim:
+		agk.bundles[u] = mergeItems(agk.bundles[u], v)
+		dc.Ops(1)
+	case k == agk.mdim:
+		agk.others[u] = v
+	case k <= 2*agk.mdim:
+		agk.others[u] = mergeItems(agk.others[u], v)
+		dc.Ops(1)
+	default:
+		// v is this node's own class half, swapped back; the union is the
+		// whole sequence.
+		agk.bundles[u] = mergeItems(v, agk.others[u])
+	}
+}
+
+func (agk *allGatherKernel[T]) Local(dc *machine.DirectCtx, k, u int) {
+	dc.Ops(1)
+	res := make([]T, agk.d.Nodes())
+	for _, it := range agk.bundles[u] {
+		res[it.idx] = it.val
+	}
+	agk.out[u] = res
 }

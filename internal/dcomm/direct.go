@@ -1,0 +1,30 @@
+package dcomm
+
+import (
+	"dualcube/internal/machine"
+)
+
+// Execute runs one schedule-driven operation, dispatching between the two
+// execution paths of a compiled schedule: the direct kernel executor when
+// the resolved scheduler allows it (the default — compiled schedules are
+// static, so they run as array kernels with no simulation overhead), or a
+// simulator engine driving the same kernel through the KernelProgram
+// adapter (an explicit engine scheduler, or a fault spec with transient
+// drop/delay hooks, which only a per-message wire can apply). Both paths
+// produce byte-identical outputs and Stats; the golden and differential
+// suites enforce it.
+//
+// This is the front every algorithm layer calls: prefix and the collectives
+// build their kernel, then Execute routes it. Engines are pooled exactly as
+// before — the fallback path checks one out and releases it after the run.
+func Execute[T any](sch *machine.Schedule, cfg machine.Config, kern machine.DirectKernel[T]) (machine.Stats, error) {
+	if machine.DirectEligible(cfg) {
+		return machine.RunDirect(sch, cfg, kern)
+	}
+	eng, err := machine.New[T](sch.D, cfg)
+	if err != nil {
+		return machine.Stats{}, err
+	}
+	defer eng.Release()
+	return eng.Run(machine.KernelProgram(sch, kern))
+}

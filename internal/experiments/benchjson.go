@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dualcube/internal/collective"
+	"dualcube/internal/machine"
+	"dualcube/internal/monoid"
+	"dualcube/internal/prefix"
+	"dualcube/internal/sortnet"
+)
+
+// BenchPoint is one measured experiment configuration of the JSON bench
+// mode (dcbench -json): the machine-readable counterpart of the markdown
+// tables, one line per point, suitable for dashboards and CI artifacts.
+type BenchPoint struct {
+	Name        string `json:"name"`          // operation measured
+	N           int    `json:"n"`             // dual-cube order
+	Nodes       int    `json:"nodes"`         // 2^(2n-1)
+	Sched       string `json:"sched"`         // backend the point ran on
+	NsPerOp     int64  `json:"ns_per_op"`     // median wall time per run
+	AllocsPerOp uint64 `json:"allocs_per_op"` // steady-state heap allocations per run
+	Cycles      int    `json:"cycles"`        // simulated communication cycles
+	Runs        int    `json:"runs"`          // timing samples behind the median
+}
+
+// benchWorkloads is the fixed experiment grid of the JSON mode: the
+// schedule-driven operations at the orders the bench-smoke CI job can
+// afford, each returning its run Stats.
+var benchWorkloads = []struct {
+	name string
+	ns   []int
+	run  func(n int) (machine.Stats, error)
+}{
+	{"prefix", []int{4, 5, 6}, func(n int) (machine.Stats, error) {
+		in := randInts(int64(n), 1<<(2*n-1), -1000, 1000)
+		_, st, err := prefix.DPrefix(n, in, monoid.Sum[int](), true, nil)
+		return st, err
+	}},
+	{"sort", []int{3, 4}, func(n int) (machine.Stats, error) {
+		in := randInts(int64(n)+7, 1<<(2*n-1), -1000, 1000)
+		_, st, err := sortnet.DSort(n, in, func(a, b int) bool { return a < b }, sortnet.Ascending, nil)
+		return st, err
+	}},
+	{"broadcast", []int{4, 6}, func(n int) (machine.Stats, error) {
+		_, st, err := collective.Broadcast(n, 3, 42)
+		return st, err
+	}},
+	{"allreduce", []int{4, 6}, func(n int) (machine.Stats, error) {
+		in := randInts(int64(n)+13, 1<<(2*n-1), -1000, 1000)
+		_, st, err := collective.AllReduce(n, in, monoid.Sum[int]())
+		return st, err
+	}},
+	{"gather", []int{4, 6}, func(n int) (machine.Stats, error) {
+		in := randInts(int64(n)+21, 1<<(2*n-1), -1000, 1000)
+		_, st, err := collective.Gather(n, 1, in)
+		return st, err
+	}},
+	{"alltoall", []int{3, 4}, func(n int) (machine.Stats, error) {
+		N := 1 << (2*n - 1)
+		in := make([][]int, N)
+		for i := range in {
+			in[i] = make([]int, N)
+			for j := range in[i] {
+				in[i][j] = i*N + j
+			}
+		}
+		_, st, err := collective.AllToAll(n, in)
+		return st, err
+	}},
+}
+
+// SetBenchSched selects the backend for a JSON bench run by name. The empty
+// string (or "default") keeps the package defaults: direct kernel execution
+// for schedule-driven operations, the worker-pool engine otherwise.
+func SetBenchSched(name string) error {
+	switch name {
+	case "", "default":
+		machine.SetDefaultSched(machine.SchedDefault)
+	case "direct":
+		machine.SetDefaultSched(machine.SchedDirect)
+	case "worker-pool":
+		machine.SetDefaultSched(machine.SchedWorkerPool)
+	case "goroutine-per-node":
+		machine.SetDefaultSched(machine.SchedGoroutinePerNode)
+	default:
+		return fmt.Errorf("experiments: unknown scheduler %q (want direct, worker-pool, goroutine-per-node or default)", name)
+	}
+	return nil
+}
+
+// BenchSweep measures every point of the fixed grid on the backend
+// previously selected with SetBenchSched: per point one warm-up run, an
+// allocation count, runs timing samples, and the Stats of the final run.
+func BenchSweep(sched string, runs int) ([]BenchPoint, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var points []BenchPoint
+	for _, w := range benchWorkloads {
+		for _, n := range w.ns {
+			st, err := w.run(n) // warm-up: pools the engine, compiles the schedule
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/D_%d: %w", w.name, n, err)
+			}
+			var allocErr error
+			allocs := testing.AllocsPerRun(1, func() {
+				if _, err := w.run(n); err != nil {
+					allocErr = err
+				}
+			})
+			if allocErr != nil {
+				return nil, fmt.Errorf("bench %s/D_%d: %w", w.name, n, allocErr)
+			}
+			samples := make([]time.Duration, runs)
+			for i := range samples {
+				start := time.Now()
+				if st, err = w.run(n); err != nil {
+					return nil, fmt.Errorf("bench %s/D_%d: %w", w.name, n, err)
+				}
+				samples[i] = time.Since(start)
+			}
+			points = append(points, BenchPoint{
+				Name:        w.name,
+				N:           n,
+				Nodes:       st.Nodes,
+				Sched:       sched,
+				NsPerOp:     median(samples).Nanoseconds(),
+				AllocsPerOp: uint64(allocs),
+				Cycles:      st.Cycles,
+				Runs:        runs,
+			})
+		}
+	}
+	return points, nil
+}
+
+// BenchJSON renders the sweep as JSON lines, one point per line — the
+// output of dcbench -json and the content of make bench-json's BENCH file.
+func BenchJSON(sched string, runs int) (string, error) {
+	if err := SetBenchSched(sched); err != nil {
+		return "", err
+	}
+	if sched == "" {
+		sched = "default"
+	}
+	points, err := BenchSweep(sched, runs)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	for _, p := range points {
+		if err := enc.Encode(p); err != nil {
+			return "", fmt.Errorf("bench json: %w", err)
+		}
+	}
+	return sb.String(), nil
+}

@@ -30,6 +30,11 @@ type Ctx[T any] struct {
 	// (goroutine-per-node).
 	yield  func(bool) bool
 	worker *poolWorker
+
+	// dctx is the node's DirectCtx under the KernelProgram adapter. Keeping
+	// it inside the (pooled) node context lets the adapter hand kernels a
+	// *DirectCtx without a per-node heap allocation per run.
+	dctx DirectCtx
 }
 
 // ID returns this node's ID.

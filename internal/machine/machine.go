@@ -51,6 +51,14 @@
 // such out-of-model blocking would deadlock a shard; none of the paper's
 // algorithms do this — node programs must communicate only through links).
 //
+// Schedule-driven operations have a third path that is not a simulator at
+// all: the direct kernel executor (direct.go, SchedDirect) runs a finalized
+// Schedule as array kernels over flat per-node state — no coroutines, no
+// per-cycle barrier, one worker join per schedule step — and reproduces the
+// engines' Stats exactly. Operations expressed as a DirectKernel use it by
+// default (see DirectEligible); the engines remain the reference semantics
+// via the KernelProgram adapter.
+//
 // # Cost-model invariants
 //
 // The engine counts clock cycles (communication time), cycles in which at
@@ -95,13 +103,20 @@ const NoNode = -1
 type Sched uint8
 
 const (
-	// SchedDefault resolves to the package default (SchedWorkerPool unless
+	// SchedDefault resolves to the package default (SchedWorkerPool for
+	// engine runs, SchedDirect for schedule-driven operations, unless
 	// overridden with SetDefaultSched).
 	SchedDefault Sched = iota
 	// SchedWorkerPool is the stepped worker-pool scheduler.
 	SchedWorkerPool
 	// SchedGoroutinePerNode is the original goroutine-per-node engine.
 	SchedGoroutinePerNode
+	// SchedDirect is the direct kernel executor (direct.go): finalized
+	// schedules run as array kernels with one worker join per step instead
+	// of per-cycle barriers. Only schedule-driven operations can use it
+	// (DirectEligible); an engine asked for SchedDirect falls back to the
+	// worker pool, so free-form node programs keep running.
+	SchedDirect
 )
 
 func (s Sched) String() string {
@@ -110,6 +125,8 @@ func (s Sched) String() string {
 		return "worker-pool"
 	case SchedGoroutinePerNode:
 		return "goroutine-per-node"
+	case SchedDirect:
+		return "direct"
 	default:
 		return "default"
 	}
@@ -199,6 +216,13 @@ func (c Config) withDefaults(n int) Config {
 		if c.Sched == SchedDefault {
 			c.Sched = SchedWorkerPool
 		}
+	}
+	if c.Sched == SchedDirect {
+		// The direct executor is not an engine; an engine run under a direct
+		// preference (a non-schedule-driven algorithm, or an ineligible
+		// fault spec) executes on the worker pool. Normalizing here also
+		// keeps the engine pool keyed on real engine schedulers only.
+		c.Sched = SchedWorkerPool
 	}
 	if c.Workers <= 0 {
 		c.Workers = int(defaultWorkers.Load())

@@ -11,13 +11,15 @@ import (
 )
 
 // DPrefixDegraded runs Algorithm 2 on a D_n with permanent link faults. It is
-// the same node program as DPrefix — dprefixProgram — executed over the
+// the same kernel as DPrefix — prefixKernel — executed over the
 // fault-rewritten schedule: dcomm.RewriteFT annotates every exchange pattern
 // severed by the fault view with its broken-pair mask and the canonical
-// detour relays, and the machine's schedule interpreter stretches the
-// affected steps accordingly. The fault plan is armed in the engine, so the
-// run aborts if the schedule ever touches failed hardware — correctness of
-// the detours is machine-checked, not assumed.
+// detour relays, and both execution paths stretch the affected steps
+// accordingly (the direct executor masks the severed pairs in the kernel and
+// replays the detours as a per-step epilogue; the simulator interpreter
+// relays them message by message). The fault plan is armed in the executor,
+// so the run aborts if the schedule ever touches failed hardware —
+// correctness of the detours is machine-checked, not assumed.
 //
 // The result is correct for any f <= n-1 permanent link faults (the link
 // connectivity of D_n is n, so every broken pair keeps an alive repair path);
@@ -60,12 +62,7 @@ func DPrefixDegraded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, p
 	}
 
 	out := make([]T, len(in))
-	eng, err := machine.New[T](d, machine.Config{Faults: plan.Spec()})
-	if err != nil {
-		return nil, machine.Stats{}, err
-	}
-	defer eng.Release()
-	st, err := eng.Run(dprefixProgram(d, sch, in, m, inclusive, out, func(int, int, T, T) {}))
+	st, err := dcomm.Execute(sch, machine.Config{Faults: plan.Spec()}, newPrefixKernel(d, m, inclusive, in, out, nil))
 	if err != nil {
 		return nil, st, err
 	}

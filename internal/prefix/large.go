@@ -28,71 +28,12 @@ func DPrefixLarge[T any](n, k int, in []T, m monoid.Monoid[T], inclusive bool) (
 	if len(in) != k*d.Nodes() {
 		return nil, machine.Stats{}, fmt.Errorf("prefix: input length %d != k*N = %d", len(in), k*d.Nodes())
 	}
-	mdim := d.ClusterDim()
 	sch, err := dcomm.Compiled(d, dcomm.OpPrefix)
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
 	out := make([]T, len(in))
-
-	eng, err := machine.New[T](d, machine.Config{})
-	if err != nil {
-		return nil, machine.Stats{}, err
-	}
-	defer eng.Release()
-	st, err := eng.Run(func(c *machine.Ctx[T]) {
-		u := c.ID()
-		idx := d.DataIndex(u)
-		local := d.LocalID(u)
-		chunk := in[idx*k : (idx+1)*k]
-
-		// Local scan of the chunk. localScan[i] is inclusive or diminished
-		// according to the requested flavor; t is always the chunk total.
-		localScan := make([]T, k)
-		acc := m.Identity()
-		for i, v := range chunk {
-			if inclusive {
-				acc = m.Combine(acc, v)
-				localScan[i] = acc
-			} else {
-				localScan[i] = acc
-				acc = m.Combine(acc, v)
-			}
-		}
-		t := acc
-		c.Ops(k - 1)
-
-		// Algorithm 2 over the chunk totals, diminished: s becomes the
-		// combination of all chunks strictly before this node's chunk,
-		// walked over the same compiled schedule as DPrefix.
-		x := machine.Interpret(c, sch)
-		s := m.Identity()
-		for i := 0; i < mdim; i++ {
-			t, s = ascendExec(&x, m, local&(1<<i) != 0, t, s)
-		}
-		temp := x.Exchange(t)
-		t2 := temp
-		s2 := m.Identity()
-		for i := 0; i < mdim; i++ {
-			t2, s2 = ascendExec(&x, m, local&(1<<i) != 0, t2, s2)
-		}
-		recv := x.Exchange(s2)
-		s = m.Combine(recv, s)
-		c.Ops(1)
-		if d.Class(u) == 1 {
-			s = m.Combine(t2, s)
-			x.LocalOps(1)
-		} else {
-			x.LocalOps(0)
-		}
-
-		// Fold the global offset into the local scan.
-		res := out[idx*k : (idx+1)*k]
-		for i := range localScan {
-			res[i] = m.Combine(s, localScan[i])
-		}
-		c.Ops(k)
-	})
+	st, err := dcomm.Execute(sch, machine.Config{}, newLargeKernel(d, m, k, inclusive, in, out))
 	if err != nil {
 		return nil, st, err
 	}

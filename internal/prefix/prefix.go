@@ -11,10 +11,12 @@
 // 2n+1) and 2n computation rounds.
 //
 // D_prefix executes through the compiled cluster-technique schedule
-// (dcomm.Compiled(d, dcomm.OpPrefix)): the program walks the shared
-// machine.Schedule via an Exec cursor instead of re-deriving partners inline,
-// so the fault-free and degraded variants are the same program over different
-// schedules.
+// (dcomm.Compiled(d, dcomm.OpPrefix)): the algorithm is a machine.DirectKernel
+// (kernel.go) and dcomm.Execute routes it — by default through the direct
+// array executor, or through a simulator engine driving the same kernel when
+// an engine scheduler is requested — so the fault-free and degraded variants
+// are the same kernel over different schedules and both execution paths are
+// one algorithm.
 package prefix
 
 import (
@@ -41,21 +43,6 @@ func ascendStep[T any](c *machine.Ctx[T], m monoid.Monoid[T], partner int, upper
 		t = m.Combine(t, temp)
 	}
 	c.Ops(1)
-	return t, s
-}
-
-// ascendExec is ascendStep driven by a schedule cursor: the current step's
-// matching supplies the partner (and the fault detours of a rewritten
-// schedule), the combine order is identical.
-func ascendExec[T any](x *machine.Exec[T], m monoid.Monoid[T], upper bool, t, s T) (T, T) {
-	temp := x.Exchange(t)
-	if upper {
-		s = m.Combine(temp, s)
-		t = m.Combine(temp, t)
-	} else {
-		t = m.Combine(t, temp)
-	}
-	x.Ctx().Ops(1)
 	return t, s
 }
 
@@ -147,8 +134,10 @@ func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace
 		return nil, machine.Stats{}, err
 	}
 
-	var snaps []*Phase[T]
+	// snap stays nil without tracing so steady-state runs skip the closure.
+	var snap func(i int, idx int, s, t T)
 	if tr != nil {
+		var snaps []*Phase[T]
 		for _, label := range []string{
 			"(a) original data distribution",
 			"(b) prefix inside cluster (t, s)",
@@ -159,9 +148,7 @@ func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace
 		} {
 			snaps = append(snaps, tr.addPhase(label, d.Nodes()))
 		}
-	}
-	snap := func(i int, idx int, s, t T) {
-		if tr != nil {
+		snap = func(i int, idx int, s, t T) {
 			snaps[i].S[idx] = s
 			snaps[i].T[idx] = t
 		}
@@ -172,12 +159,7 @@ func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace
 		return nil, machine.Stats{}, err
 	}
 	out := make([]T, len(in))
-	eng, err := machine.New[T](d, machine.Config{})
-	if err != nil {
-		return nil, machine.Stats{}, err
-	}
-	defer eng.Release()
-	st, err := eng.Run(dprefixProgram(d, sch, in, m, inclusive, out, snap))
+	st, err := dcomm.Execute(sch, machine.Config{}, newPrefixKernel(d, m, inclusive, in, out, snap))
 	if err != nil {
 		return nil, st, err
 	}
@@ -202,70 +184,11 @@ func DPrefixRecorded[T any](n int, in []T, m monoid.Monoid[T], inclusive bool) (
 		return nil, machine.Stats{}, nil, err
 	}
 	defer eng.Release()
-	st, rec, err := eng.RunRecorded(dprefixProgram(d, sch, in, m, inclusive, out, func(int, int, T, T) {}))
+	st, rec, err := eng.RunRecorded(machine.KernelProgram(sch, newPrefixKernel(d, m, inclusive, in, out, nil)))
 	if err != nil {
 		return nil, st, nil, err
 	}
 	return out, st, rec, nil
-}
-
-// dprefixProgram builds the per-node SPMD program of Algorithm 2 over a
-// compiled prefix schedule — the fault-free one from dcomm.Compiled, or a
-// fault-rewritten variant whose exchanges carry detour annotations. snap is
-// the phase-snapshot hook (phase index, element index, s, t).
-func dprefixProgram[T any](d *topology.DualCube, sch *machine.Schedule, in []T, m monoid.Monoid[T], inclusive bool, out []T, snap func(i, idx int, s, t T)) func(c *machine.Ctx[T]) {
-	mdim := d.ClusterDim()
-	return func(c *machine.Ctx[T]) {
-		u := c.ID()
-		idx := d.DataIndex(u)
-		local := d.LocalID(u)
-
-		t := in[idx]
-		s := in[idx]
-		if !inclusive {
-			s = m.Identity()
-		}
-		snap(0, idx, in[idx], in[idx])
-
-		x := machine.Interpret(c, sch)
-
-		// Step 1: inclusive prefix of the block inside the cluster.
-		for i := 0; i < mdim; i++ {
-			t, s = ascendExec(&x, m, local&(1<<i) != 0, t, s)
-		}
-		snap(1, idx, s, t)
-
-		// Step 2: cross-edge exchange of block totals.
-		temp := x.Exchange(t)
-		snap(2, idx, s, temp)
-
-		// Step 3: diminished prefix of the received block totals.
-		t2 := temp
-		s2 := m.Identity()
-		for i := 0; i < mdim; i++ {
-			t2, s2 = ascendExec(&x, m, local&(1<<i) != 0, t2, s2)
-		}
-		snap(3, idx, s2, t2)
-
-		// Step 4: cross-edge exchange of the prefixed totals; fold in the
-		// combined earlier-block totals of this node's own class half.
-		recv := x.Exchange(s2)
-		s = m.Combine(recv, s)
-		c.Ops(1)
-		snap(4, idx, s, t2)
-
-		// Step 5: class-1 blocks come after all class-0 blocks, so class-1
-		// nodes prepend the class-0 grand total (their t').
-		if d.Class(u) == 1 {
-			s = m.Combine(t2, s)
-			x.LocalOps(1)
-		} else {
-			x.LocalOps(0)
-		}
-		snap(5, idx, s, t2)
-
-		out[idx] = s
-	}
 }
 
 // EmulatedCubePrefix is the ablation of experiment E4: run Algorithm 1 for

@@ -60,11 +60,14 @@ func runDegraded(n int, plan *FaultPlan) (any, Stats, error) {
 }
 
 // TestIRGoldenStats pins the cost statistics of every operation against the
-// golden file captured from the inline (pre-IR) implementations. The compiled
-// schedules executed by the machine interpreter must be byte-identical to
-// those implementations: same cycles, same messages, same computation rounds,
-// for every operation at every order. Regenerate with IR_GOLDEN_UPDATE=1
-// only when a schedule change is intentional and explained.
+// golden file captured from the inline (pre-IR) implementations, under BOTH
+// schedule-capable backends: the worker-pool interpreter (the reference
+// semantics) and the direct kernel executor. The compiled schedules must be
+// byte-identical to those implementations — same cycles, same messages,
+// same computation rounds, for every operation at every order — and the
+// direct executor must reproduce the interpreter exactly, against the same
+// unchanged golden entries. Regenerate with IR_GOLDEN_UPDATE=1 only when a
+// schedule change is intentional and explained.
 func TestIRGoldenStats(t *testing.T) {
 	path := filepath.Join("testdata", "ir_golden_stats.json")
 	type entry struct {
@@ -73,27 +76,34 @@ func TestIRGoldenStats(t *testing.T) {
 		Stats    goldenStats `json:"stats"`
 	}
 
-	var got []entry
-	for _, w := range differentialWorkloads {
-		for n := 2; n <= 4; n++ {
-			_, st, err := w.run(n)
-			if err != nil {
-				t.Fatalf("%s/D_%d: %v", w.name, n, err)
+	collect := func(t *testing.T) []entry {
+		var got []entry
+		for _, w := range differentialWorkloads {
+			for n := 2; n <= 4; n++ {
+				_, st, err := w.run(n)
+				if err != nil {
+					t.Fatalf("%s/D_%d: %v", w.name, n, err)
+				}
+				got = append(got, entry{Workload: w.name, N: n, Stats: toGolden(st)})
 			}
-			got = append(got, entry{Workload: w.name, N: n, Stats: toGolden(st)})
 		}
-	}
-	for _, w := range degradedWorkloads {
-		for n := 2; n <= 4; n++ {
-			_, st, err := w.run(n)
-			if err != nil {
-				t.Fatalf("%s/D_%d: %v", w.name, n, err)
+		for _, w := range degradedWorkloads {
+			for n := 2; n <= 4; n++ {
+				_, st, err := w.run(n)
+				if err != nil {
+					t.Fatalf("%s/D_%d: %v", w.name, n, err)
+				}
+				got = append(got, entry{Workload: w.name, N: n, Stats: toGolden(st)})
 			}
-			got = append(got, entry{Workload: w.name, N: n, Stats: toGolden(st)})
 		}
+		return got
 	}
 
+	defer SetSimScheduler(SchedulerDefault)
+
 	if os.Getenv("IR_GOLDEN_UPDATE") == "1" {
+		SetSimScheduler(SchedulerWorkerPool)
+		got := collect(t)
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
@@ -120,18 +130,31 @@ func TestIRGoldenStats(t *testing.T) {
 	for _, e := range want {
 		wantByKey[fmt.Sprintf("%s/D_%d", e.Workload, e.N)] = e.Stats
 	}
-	for _, e := range got {
-		key := fmt.Sprintf("%s/D_%d", e.Workload, e.N)
-		ref, ok := wantByKey[key]
-		if !ok {
-			t.Errorf("%s: no golden entry", key)
-			continue
-		}
-		if e.Stats != ref {
-			t.Errorf("%s: stats diverge from the inline implementation\n  got:    %+v\n  golden: %+v", key, e.Stats, ref)
-		}
-	}
-	if len(got) != len(want) {
-		t.Errorf("workload count changed: %d runs vs %d golden entries", len(got), len(want))
+
+	for _, backend := range []struct {
+		name  string
+		sched Scheduler
+	}{
+		{"interpreter", SchedulerWorkerPool},
+		{"direct", SchedulerDirect},
+	} {
+		t.Run(backend.name, func(t *testing.T) {
+			SetSimScheduler(backend.sched)
+			got := collect(t)
+			for _, e := range got {
+				key := fmt.Sprintf("%s/D_%d", e.Workload, e.N)
+				ref, ok := wantByKey[key]
+				if !ok {
+					t.Errorf("%s: no golden entry", key)
+					continue
+				}
+				if e.Stats != ref {
+					t.Errorf("%s: stats diverge from the inline implementation\n  got:    %+v\n  golden: %+v", key, e.Stats, ref)
+				}
+			}
+			if len(got) != len(want) {
+				t.Errorf("workload count changed: %d runs vs %d golden entries", len(got), len(want))
+			}
+		})
 	}
 }

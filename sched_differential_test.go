@@ -117,27 +117,39 @@ func diffInput(n int) []int {
 	return in
 }
 
-// TestSchedulerDifferential runs every workload under both execution
-// engines and requires bit-identical outputs and identical cost statistics
-// (Cycles, CommCycles, Messages, MaxOps, TotalOps) — the engines must be
-// observationally equivalent, not merely both correct.
+// TestSchedulerDifferential runs every workload under all three execution
+// backends — the worker-pool engine, the goroutine-per-node engine, and the
+// direct kernel executor — and requires bit-identical outputs and identical
+// cost statistics (Cycles, CommCycles, Messages, MaxOps, TotalOps): the
+// backends must be observationally equivalent, not merely all correct.
 func TestSchedulerDifferential(t *testing.T) {
-	defer SetSimScheduler(SchedulerWorkerPool)
+	defer SetSimScheduler(SchedulerDefault)
 	for _, w := range differentialWorkloads {
 		for n := 2; n <= 4; n++ {
 			t.Run(fmt.Sprintf("%s/D_%d", w.name, n), func(t *testing.T) {
 				SetSimScheduler(SchedulerWorkerPool)
 				poolOut, poolStats, poolErr := w.run(n)
-				SetSimScheduler(SchedulerGoroutinePerNode)
-				goOut, goStats, goErr := w.run(n)
-				if poolErr != nil || goErr != nil {
-					t.Fatalf("pool err = %v, goroutine err = %v", poolErr, goErr)
+				if poolErr != nil {
+					t.Fatalf("pool err = %v", poolErr)
 				}
-				if poolStats != goStats {
-					t.Errorf("stats diverge:\n  worker-pool:        %+v\n  goroutine-per-node: %+v", poolStats, goStats)
-				}
-				if !reflect.DeepEqual(poolOut, goOut) {
-					t.Errorf("outputs diverge between schedulers")
+				for _, alt := range []struct {
+					name  string
+					sched Scheduler
+				}{
+					{"goroutine-per-node", SchedulerGoroutinePerNode},
+					{"direct", SchedulerDirect},
+				} {
+					SetSimScheduler(alt.sched)
+					out, st, err := w.run(n)
+					if err != nil {
+						t.Fatalf("%s err = %v", alt.name, err)
+					}
+					if st != poolStats {
+						t.Errorf("stats diverge:\n  worker-pool: %+v\n  %s: %+v", poolStats, alt.name, st)
+					}
+					if !reflect.DeepEqual(out, poolOut) {
+						t.Errorf("outputs diverge between worker-pool and %s", alt.name)
+					}
 				}
 			})
 		}
