@@ -29,7 +29,7 @@ bench:
 # Machine-readable benchmark sweep: one JSON line per experiment point
 # (name, order, ns/op, allocs/op, cycles) on the default backends.
 bench-json:
-	$(GO) run ./cmd/dcbench -json > BENCH_5.json
+	$(GO) run ./cmd/dcbench -json > BENCH_6.json
 
 # Regenerate every experiment table (the content of EXPERIMENTS.md).
 experiments:

@@ -84,6 +84,43 @@ func TestDirectPrefixAllocGuard(t *testing.T) {
 	t.Logf("direct D_prefix on warm D_%d runtime: %.0f allocs/op (budget %d)", n, allocs, budget)
 }
 
+// TestDirectSortAllocGuard is TestDirectPrefixAllocGuard for the sort
+// family: D_sort on a warm D_6 Runtime through SchedulerDirect. The warm
+// direct path allocates the run's flat payload/role arrays, the kernel and
+// its key array, the comparison closure, and the result slice; the schedule
+// and direction plan come from their caches. One stray allocation per node
+// or per step (2048 nodes x 66 steps) would blow the budget a hundredfold.
+func TestDirectSortAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	const n = 6
+	const budget = 16
+	rt, err := NewRuntime(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Warm()
+	in := make([]int, rt.Nodes())
+	for i := range in {
+		in[i] = i * 2654435761 % rt.Nodes()
+	}
+	SetSimScheduler(SchedulerDirect)
+	defer SetSimScheduler(SchedulerDefault)
+	if _, _, err := SortOn(rt, in, Ascending); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := SortOn(rt, in, Ascending); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("direct D_sort on warm D_%d runtime: %.0f allocs/op, budget %d", n, allocs, budget)
+	}
+	t.Logf("direct D_sort on warm D_%d runtime: %.0f allocs/op (budget %d)", n, allocs, budget)
+}
+
 // TestWarmRuntimeAllocGuard pins the steady-state allocation cost of Runtime
 // operations once the engine pool and schedule cache are warm. Building the
 // D_6 machine from scratch costs thousands of allocations (2048 node

@@ -228,6 +228,28 @@ func BenchmarkSchedulers(b *testing.B) {
 	}
 }
 
+// BenchmarkE22SortSchedulers runs the same D_sort workload under all three
+// execution backends — the head-to-head behind the sort kernelization
+// numbers in EXPERIMENTS.md (E22 pins direct at >= 5x over the worker pool
+// on D_4, mirroring what E21 measured for prefix).
+func BenchmarkE22SortSchedulers(b *testing.B) {
+	for _, n := range []int{4, 5, 6} {
+		in := benchInput(n)
+		for _, s := range []Scheduler{SchedulerWorkerPool, SchedulerGoroutinePerNode, SchedulerDirect} {
+			b.Run(fmt.Sprintf("%v/D_%d", s, n), func(b *testing.B) {
+				b.ReportAllocs()
+				SetSimScheduler(s)
+				defer SetSimScheduler(SchedulerDefault)
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sortnet.DSort(n, in, func(a, x int) bool { return a < x }, sortnet.Ascending, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkStepKinds isolates the simulator's per-cycle cost for the two
 // kinds of dimension step D_sort uses: the 1-cycle cross-edge exchange and
 // the 3-cycle routed exchange (the ablation behind Theorem 2's constant).

@@ -85,3 +85,56 @@ func FuzzDirectVsInterpret(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDirectVsInterpretSort is the sort family's differential fuzzer: random
+// keys with heavy duplicates (a small value range forces equal-key ties,
+// where the keep-local-on-tie rule must agree across backends), both sort
+// Orders, on D_2..D_4 — run through the direct kernel executor, the
+// worker-pool interpreter, and the legacy goroutine-per-node engine. All
+// three must produce identical outputs and identical Stats.
+func FuzzDirectVsInterpretSort(f *testing.F) {
+	f.Add(int64(1), uint8(0), false)
+	f.Add(int64(2), uint8(1), true)
+	f.Add(int64(3), uint8(2), false)
+	f.Add(int64(-42), uint8(1), true)
+	f.Add(int64(7), uint8(0), true)
+	f.Fuzz(func(t *testing.T, seed int64, order uint8, descending bool) {
+		n := 2 + int(order)%3 // D_2 .. D_4
+		N := 1 << (2*n - 1)
+		ord := Ascending
+		if descending {
+			ord = Descending
+		}
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]int, N)
+		for i := range in {
+			in[i] = rng.Intn(N/2 + 1) // duplicates guaranteed by pigeonhole
+		}
+
+		defer SetSimScheduler(SchedulerDefault)
+		SetSimScheduler(SchedulerDirect)
+		directOut, directStats, err := Sort(n, in, ord)
+		if err != nil {
+			t.Fatalf("direct: %v", err)
+		}
+		for _, alt := range []struct {
+			name  string
+			sched Scheduler
+		}{
+			{"worker-pool", SchedulerWorkerPool},
+			{"goroutine-per-node", SchedulerGoroutinePerNode},
+		} {
+			SetSimScheduler(alt.sched)
+			out, st, err := Sort(n, in, ord)
+			if err != nil {
+				t.Fatalf("%s: %v", alt.name, err)
+			}
+			if st != directStats {
+				t.Errorf("%s: stats diverge\n  direct: %+v\n  engine: %+v", alt.name, directStats, st)
+			}
+			if !reflect.DeepEqual(out, directOut) {
+				t.Errorf("%s: outputs diverge from the direct executor\n  in: %v\n  direct: %v\n  engine: %v", alt.name, in, directOut, out)
+			}
+		}
+	})
+}

@@ -36,6 +36,41 @@ func (k *directKernel) Local(dc *machine.DirectCtx, step, u int) {
 	}
 }
 
+// A compare-exchange kernel in the shape of the sort family: Absorb decides
+// which key to keep from a per-step direction plan and records the round
+// through the context. Branchy per-node state machines like this are the
+// direct executor's idiom and must stay exempt.
+type exchangeKernel struct {
+	less  func(a, b int) bool
+	keys  []int
+	plan  []struct{ dim, dirBit int8 }
+	snaps [][]int
+}
+
+func (ek *exchangeKernel) Produce(dc *machine.DirectCtx, step, u int) (machine.DirectRole, int) {
+	return machine.DirectExchange, ek.keys[u]
+}
+
+func (ek *exchangeKernel) Absorb(dc *machine.DirectCtx, step, u int, v int) {
+	meta := ek.plan[step]
+	keepMin := u>>meta.dirBit&1 == 0
+	dc.Ops(1)
+	key := ek.keys[u]
+	if keepMin {
+		if ek.less(v, key) {
+			key = v
+		}
+	} else if ek.less(key, v) {
+		key = v
+	}
+	ek.keys[u] = key
+	if ek.snaps != nil {
+		ek.snaps[step][u] = key
+	}
+}
+
+func (ek *exchangeKernel) Local(dc *machine.DirectCtx, step, u int) {}
+
 // A free function with a DirectCtx param is a kernel helper, equally exempt.
 func directHelper(dc *machine.DirectCtx, scratch chan int) {
 	scratch <- 1

@@ -36,40 +36,11 @@ func CyclesForDim(j int) int {
 
 // DimExchange performs the parallel recursive-dimension-j exchange: every
 // node sends its value to its dimension-j partner (in recursive ID space)
-// and receives the partner's value. All nodes of the machine must call it
-// with the same j in the same cycle.
-//
-// Schedule (j > 0). Let w be a node whose class parity matches j (so
-// {w, w_j} is a direct link) and v = w's cross neighbor (whose pair needs
-// the 3-hop route v → w → w_j → v_j):
-//
-//	cycle 1: w sends its own value on the j-link and receives both its
-//	         partner's value (j-link) and v's foreign value (cross-edge);
-//	         v sends its value over the cross-edge.
-//	cycle 2: w relays the foreign value on the j-link and receives the
-//	         foreign value relayed by its partner; v is idle.
-//	cycle 3: w returns the relayed value over the cross-edge; v receives
-//	         its partner's value.
-//
-// Every directed link carries at most one message per cycle and every node
-// sends at most once per cycle; relay nodes receive on two links in cycle 1
-// (the bidirectional-channel allowance). For j = 0 all pairs are direct
-// cross-edges and the exchange is a single cycle.
+// and receives the partner's value. It is machine.RecDimExchange — the
+// choreography moved into the machine package when the sort schedules were
+// compiled to StepRecDim steps, and this alias remains for the algorithms
+// that still drive engines directly (DSortLarge's merge-split rounds and
+// the fault-tolerant DimExchangeFT fallback path).
 func DimExchange[T any](c *machine.Ctx[T], d *topology.DualCube, j int, v T) T {
-	u := c.ID()
-	cross := d.CrossNeighbor(u)
-	if j == 0 {
-		return c.Exchange(cross, v)
-	}
-	r := d.ToRecursive(u)
-	if d.RecDirect(r, j) {
-		jp := d.FromRecursive(r ^ 1<<j)
-		own, foreign := c.SendRecv2(jp, v, jp, cross) // cycle 1
-		relayed := c.SendRecv(jp, foreign, jp)        // cycle 2
-		c.Send(cross, relayed)                        // cycle 3
-		return own
-	}
-	c.Send(cross, v) // cycle 1
-	c.Idle()         // cycle 2
-	return c.Recv(cross)
+	return machine.RecDimExchange(c, d, j, v)
 }

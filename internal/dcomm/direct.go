@@ -14,14 +14,15 @@ import (
 // produce byte-identical outputs and Stats; the golden and differential
 // suites enforce it.
 //
-// This is the front every algorithm layer calls: prefix and the collectives
-// build their kernel, then Execute routes it. Engines are pooled exactly as
-// before — the fallback path checks one out and releases it after the run.
+// This is the front every algorithm layer calls: prefix, the collectives
+// and the sort family build their kernel, then Execute routes it. Engines
+// are pooled exactly as before — the fallback path checks one out for the
+// schedule's topology and releases it after the run.
 func Execute[T any](sch *machine.Schedule, cfg machine.Config, kern machine.DirectKernel[T]) (machine.Stats, error) {
 	if machine.DirectEligible(cfg) {
 		return machine.RunDirect(sch, cfg, kern)
 	}
-	eng, err := machine.New[T](sch.D, cfg)
+	eng, err := machine.New[T](sch.Topology(), cfg)
 	if err != nil {
 		return machine.Stats{}, err
 	}

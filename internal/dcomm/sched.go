@@ -10,10 +10,11 @@ import (
 	"dualcube/internal/topology"
 )
 
-// Op names one cluster-technique operation whose communication skeleton is
-// compiled to a machine.Schedule. The recursive-technique algorithms
-// (D_sort's DimExchange relays) are not schedule-compiled: their 3-cycle
-// relay pattern is a different primitive, kept in DimExchange/DimExchangeFT.
+// Op names one operation whose communication skeleton is compiled to a
+// machine.Schedule. The cluster-technique collectives compile to
+// StepClusterDim/StepCrossHop sequences; the recursive-technique D_sort
+// compiles its 3-cycle DimExchange rounds to StepRecDim steps (OpDSort).
+// Only the transient fault machinery (DimExchangeFT) remains outside the IR.
 type Op uint8
 
 const (
@@ -38,6 +39,11 @@ const (
 	// OpAllToAll is the dimension-ordered personalized exchange: ascending
 	// routing sweeps and cross hops.
 	OpAllToAll
+	// OpDSort is Algorithm 3 (D_sort): the flattened bitonic-merge ladder of
+	// recursive-dimension compare-exchanges — one cross step for dimension 0
+	// and a 3-cycle StepRecDim per higher dimension — 2n²-n compare-exchange
+	// steps, 6n²-7n+2 communication cycles (Theorem 2).
+	OpDSort
 	opCount
 	// OpEnd is one past the last operation, for iterating all schedules
 	// (for op := OpPrefix; op < OpEnd; op++).
@@ -61,6 +67,8 @@ func (op Op) String() string {
 		return "allgather"
 	case OpAllToAll:
 		return "alltoall"
+	case OpDSort:
+		return "dsort"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -153,11 +161,62 @@ func buildSchedule(d *topology.DualCube, op Op) (*machine.Schedule, error) {
 		ascend()
 		cross()
 		ascend()
+	case OpDSort:
+		// Algorithm 3 flattened: the dimension-0 merge, then per level
+		// l = 2..n a half-merge over dims 2l-3..0 and a final merge over
+		// dims 2l-2..0. Dimension 0 is a plain cross hop; every higher
+		// dimension is a 3-cycle recursive-dimension exchange. Patterns
+		// offset by m so RecDim matchings never collide with the cross hop.
+		recDim := func(j int) {
+			if j == 0 {
+				cross()
+				return
+			}
+			sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepRecDim, Dim: j, Pattern: m + j})
+		}
+		n := d.Order()
+		recDim(0)
+		for l := 2; l <= n; l++ {
+			for j := 2*l - 3; j >= 0; j-- {
+				recDim(j)
+			}
+			for j := 2*l - 2; j >= 0; j-- {
+				recDim(j)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("dcomm: no schedule builder for %s", op)
 	}
 	sch.Finalize()
 	return sch, nil
+}
+
+// cubeSortCache holds the compiled hypercube bitonic-sort schedule per
+// dimension, mirroring schedCache's first-store-wins discipline.
+var cubeSortCache [topology.MaxHypercubeDim + 1]atomic.Pointer[machine.Schedule]
+
+// CompiledCubeSort returns the cached bitonic-sort schedule on hypercube h:
+// stages k = 1..q, each a descending sweep of StepBitDim exchanges over
+// dimensions k-1..0 — q(q+1)/2 compare-exchange steps. The direction bits
+// live in the sort kernel, not the schedule, so one schedule serves both
+// orders. Q_0 compiles to the empty schedule.
+func CompiledCubeSort(h *topology.Hypercube) *machine.Schedule {
+	slot := &cubeSortCache[h.Dim()]
+	if sch := slot.Load(); sch != nil {
+		return sch
+	}
+	q := h.Dim()
+	sch := &machine.Schedule{Name: fmt.Sprintf("cubesort/%s", h.Name()), Topo: h}
+	for k := 1; k <= q; k++ {
+		for j := k - 1; j >= 0; j-- {
+			sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepBitDim, Dim: j, Pattern: j})
+		}
+	}
+	sch.Finalize()
+	if slot.CompareAndSwap(nil, sch) {
+		return sch
+	}
+	return slot.Load()
 }
 
 // RewriteFT derives the degraded-mode variant of a compiled schedule under a
@@ -172,6 +231,12 @@ func buildSchedule(d *topology.DualCube, op Op) (*machine.Schedule, error) {
 func RewriteFT(sch *machine.Schedule, view *fault.View) (*machine.Schedule, error) {
 	if view.Clean() {
 		return sch, nil
+	}
+	for i := range sch.Steps {
+		switch sch.Steps[i].Kind {
+		case machine.StepRecDim, machine.StepBitDim:
+			return nil, fmt.Errorf("dcomm: %s: fault rewrite supports only cluster-technique schedules (step %d is %s)", sch.Name, i, sch.Steps[i].Kind)
+		}
 	}
 	d := sch.D
 	m := d.ClusterDim()

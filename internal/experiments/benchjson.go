@@ -41,7 +41,7 @@ var benchWorkloads = []struct {
 		_, st, err := prefix.DPrefix(n, in, monoid.Sum[int](), true, nil)
 		return st, err
 	}},
-	{"sort", []int{3, 4}, func(n int) (machine.Stats, error) {
+	{"sort", []int{3, 4, 5, 6}, func(n int) (machine.Stats, error) {
 		in := randInts(int64(n)+7, 1<<(2*n-1), -1000, 1000)
 		_, st, err := sortnet.DSort(n, in, func(a, b int) bool { return a < b }, sortnet.Ascending, nil)
 		return st, err

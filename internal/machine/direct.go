@@ -172,8 +172,8 @@ var directParallelMin = 4096
 // armed spec); LinkCapacity and Timeout have no meaning here — there are no
 // buffers to overflow and no coroutines to wedge.
 func RunDirect[T any](sch *Schedule, cfg Config, kern DirectKernel[T]) (Stats, error) {
-	d := sch.D
-	n := d.Nodes()
+	topo := sch.Topology()
+	n := topo.Nodes()
 	st := Stats{Nodes: n}
 	steps := sch.Steps
 	for i := range steps {
@@ -192,7 +192,7 @@ func RunDirect[T any](sch *Schedule, cfg Config, kern DirectKernel[T]) (Stats, e
 			return st, fmt.Errorf("machine: direct executor cannot apply transient drop/delay fault hooks; run on an engine scheduler")
 		}
 		var err error
-		down, st.Faults.DownLinks, st.Faults.DownNodes, err = directDownSet(d, spec, n)
+		down, st.Faults.DownLinks, st.Faults.DownNodes, err = directDownSet(topo, spec, n)
 		if err != nil {
 			return st, err
 		}
@@ -255,7 +255,26 @@ func RunDirect[T any](sch *Schedule, cfg Config, kern DirectKernel[T]) (Stats, e
 			return st, res.err
 		}
 		if p < len(steps) {
-			if s := &steps[p]; s.Kind != StepLocalCombine {
+			if s := &steps[p]; s.Kind == StepRecDim {
+				// A recursive-dimension exchange is the 3-cycle cross-routed
+				// choreography of RecDimExchange: half the pairs are direct
+				// j-links, the other half route through two cross-edges, so
+				// the parallel step is 3 cycles and 2N messages (N/2 direct
+				// nodes send 3 each, N/2 routed nodes send 1). Every cross
+				// edge and every dimension-j direct link carries traffic in
+				// both directions, so an armed fault on any of them fails the
+				// step exactly as the engine choreography would.
+				if down != nil {
+					if err := checkRecDimLinks(sch.D, s.Dim, down, n); err != nil {
+						return st, err
+					}
+				}
+				st.Cycles += 3
+				if res.sends > 0 {
+					st.CommCycles += 3
+					st.Messages += int64(2 * res.sends)
+				}
+			} else if s.Kind != StepLocalCombine {
 				st.Cycles++
 				if res.sends > 0 {
 					st.CommCycles++
@@ -394,18 +413,32 @@ func (r *directRun[T]) pass(p, lo, hi int, dc *DirectCtx) passResult {
 			return res
 		}
 		partners, broken := s.partners, s.Broken
+		recDim := s.Kind == StepRecDim
 		for u := lo; u < hi; u++ {
 			dc.u = u
 			role, v := r.kern.Produce(dc, p, u)
 			r.rolesCur[u] = role
 			r.cur[u] = v
+			if recDim && role != DirectExchange {
+				// The 3-cycle choreography has no one-sided variant: a node
+				// that sends without receiving (or vice versa) would wedge the
+				// engine's relay cycles, so the direct path rejects it too.
+				if res.err == nil {
+					res.failNode = u
+					res.err = fmt.Errorf("machine: node %d: recursive-dimension step %d requires a matched exchange, got role %d", u, p, role)
+				}
+				continue
+			}
 			if role != DirectExchange && role != DirectSend {
 				continue
 			}
 			if broken != nil && broken[u] {
 				continue // severed pair: idles the matched cycle, served by the detour epilogue
 			}
-			if r.down != nil {
+			if r.down != nil && !recDim {
+				// RecDim partners may be non-adjacent (the routed half); the
+				// step's fault validation runs link-exactly in RunDirect via
+				// checkRecDimLinks instead.
 				if w := int(partners[u]); r.down[u*r.n+w] {
 					if res.err == nil {
 						res.failNode = u
@@ -463,6 +496,28 @@ func directDownSet(t topology.Topology, spec *FaultSpec, n int) (map[int]bool, i
 		}
 	}
 	return down, links, nodes, nil
+}
+
+// checkRecDimLinks validates one recursive-dimension exchange against the
+// armed fault plan's down set. The choreography uses, in both directions,
+// every cross edge (the routed half's delivery plus the direct half's relay
+// traffic) and every dimension-j direct link, so any down link among them
+// fails the step; the reported (sender, receiver) pair is the first send of
+// the choreography that would traverse it.
+func checkRecDimLinks(d *topology.DualCube, j int, down map[int]bool, n int) error {
+	for u := 0; u < n; u++ {
+		cross := d.CrossNeighbor(u)
+		r := d.ToRecursive(u)
+		if d.RecDirect(r, j) {
+			if w := d.FromRecursive(r ^ 1<<j); down[u*n+w] {
+				return fmt.Errorf("machine: node %d: send to %d on a failed link", u, w)
+			}
+		}
+		if down[u*n+cross] {
+			return fmt.Errorf("machine: node %d: send to %d on a failed link", u, cross)
+		}
+	}
+	return nil
 }
 
 // adjacentIn reports whether v is a neighbor of u. The caller has validated

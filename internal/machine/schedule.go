@@ -28,6 +28,21 @@ const (
 	// StepCrossHop is the cross-edge matching: every node pairs with
 	// CrossNeighbor(u). One cycle, plus repairs.
 	StepCrossHop
+	// StepRecDim is a recursive-dimension matching (D_sort, Algorithm 3):
+	// every node pairs with the node whose recursive ID differs in bit Dim,
+	// for Dim >= 1 (recursive dimension 0 is the cross matching and compiles
+	// to StepCrossHop). Half the pairs are physically adjacent and the other
+	// half relay through two cross-edges, so the parallel exchange takes
+	// three cycles and 2N messages — Section 6's three-time-unit
+	// compare-and-exchange. Fault annotations are not supported: the relay
+	// choreography already uses every cross-edge, so there is no alive
+	// matching left to detour over, and dcomm.RewriteFT rejects schedules
+	// containing this kind.
+	StepRecDim
+	// StepBitDim is a hypercube dimension matching: every node pairs with
+	// u^(1<<Dim) — the compare-exchange round of the bitonic baseline on
+	// Q_q. One cycle; fault annotations are not supported.
+	StepBitDim
 	// StepLocalCombine is a computation-only round: no clock cycle, only
 	// Ops accounting (the amount is program-dependent — e.g. the class-1
 	// fold of D_prefix's step 5 is one round on half the nodes).
@@ -41,6 +56,10 @@ func (k StepKind) String() string {
 		return "clusterDim"
 	case StepCrossHop:
 		return "crossHop"
+	case StepRecDim:
+		return "recDim"
+	case StepBitDim:
+		return "bitDim"
 	default:
 		return "localCombine"
 	}
@@ -99,17 +118,32 @@ func (s *Step) Partners() []int32 { return s.partners }
 // finalized. Read-only, like Partners.
 func (s *Step) LinkIndexes() []int32 { return s.links }
 
-// Schedule is the compiled cluster-technique skeleton of one operation on
-// one D_n, built once and cached per (order, operation) by internal/dcomm.
-// A Schedule is immutable after construction and shared by every run.
+// Schedule is the compiled communication skeleton of one operation, built
+// once and cached per (order, operation) by internal/dcomm. A Schedule is
+// immutable after construction and shared by every run.
 type Schedule struct {
-	Name  string
-	D     *topology.DualCube
+	Name string
+	// D is the dual-cube the schedule is compiled for. Cluster, cross and
+	// recursive-dimension steps require it; nil for schedules bound to
+	// another network through Topo (the hypercube bitonic baseline).
+	D *topology.DualCube
+	// Topo binds a schedule compiled for a non-dual-cube network. nil for
+	// dual-cube schedules, which set D.
+	Topo  topology.Topology
 	Steps []Step
 	// RepairCycles is the extra clock cycles the fault annotations append
 	// over the fault-free schedule: the sum over steps of 2·(path length − 1)
 	// per detour. Zero for a fault-free schedule.
 	RepairCycles int
+}
+
+// Topology returns the network the schedule is compiled for: Topo when set,
+// otherwise the dual-cube D.
+func (s *Schedule) Topology() topology.Topology {
+	if s.Topo != nil {
+		return s.Topo
+	}
+	return s.D
 }
 
 // Finalize precomputes every exchange step's partner and link-index tables,
@@ -121,8 +155,8 @@ type Schedule struct {
 func (s *Schedule) Finalize() {
 	type tables struct{ partners, links []int32 }
 	byPattern := make(map[int]tables)
-	d := s.D
-	n := d.Nodes()
+	topo := s.Topology()
+	n := topo.Nodes()
 	for i := range s.Steps {
 		st := &s.Steps[i]
 		if st.Kind == StepLocalCombine || st.partners != nil {
@@ -133,16 +167,34 @@ func (s *Schedule) Finalize() {
 			continue
 		}
 		partners := make([]int32, n)
+		if st.Kind == StepRecDim {
+			// Half of a recursive-dimension matching's pairs are not
+			// physically adjacent (they relay through two cross-edges), so
+			// only the partner table exists; links stay nil and the
+			// executors run the 3-cycle choreography instead of a link write.
+			d := s.D
+			for u := 0; u < n; u++ {
+				partners[u] = int32(d.FromRecursive(d.ToRecursive(u) ^ 1<<st.Dim))
+			}
+			byPattern[st.Pattern] = tables{partners, nil}
+			st.partners = partners
+			continue
+		}
 		links := make([]int32, n)
 		for u := 0; u < n; u++ {
-			p := d.CrossNeighbor(u)
-			if st.Kind == StepClusterDim {
-				p = d.ClusterNeighbor(u, st.Dim)
+			var p int
+			switch st.Kind {
+			case StepClusterDim:
+				p = s.D.ClusterNeighbor(u, st.Dim)
+			case StepCrossHop:
+				p = s.D.CrossNeighbor(u)
+			default: // StepBitDim
+				p = u ^ 1<<st.Dim
 			}
 			partners[u] = int32(p)
 			idx := -1
 			prev := -1
-			for j, w := range d.Neighbors(u) {
+			for j, w := range topo.Neighbors(u) {
 				if w <= prev {
 					return // row not ascending: leave this schedule unaccelerated
 				}
@@ -167,6 +219,24 @@ func (s *Schedule) CommSteps() int {
 	k := 0
 	for i := range s.Steps {
 		if s.Steps[i].Kind != StepLocalCombine {
+			k++
+		}
+	}
+	return k
+}
+
+// CommCycles returns the clock cycles the fault-free schedule's
+// communication steps take: one per matched exchange, three per
+// recursive-dimension step (Section 6's routed compare-and-exchange). The
+// repair cycles of a fault rewrite come on top (RepairCycles).
+func (s *Schedule) CommCycles() int {
+	k := 0
+	for i := range s.Steps {
+		switch s.Steps[i].Kind {
+		case StepLocalCombine:
+		case StepRecDim:
+			k += 3
+		default:
 			k++
 		}
 	}
@@ -224,6 +294,11 @@ func (x *Exec[T]) partner(s *Step) int {
 		return x.sch.D.ClusterNeighbor(x.c.ID(), s.Dim)
 	case StepCrossHop:
 		return x.sch.D.CrossNeighbor(x.c.ID())
+	case StepRecDim:
+		d := x.sch.D
+		return d.FromRecursive(d.ToRecursive(x.c.ID()) ^ 1<<s.Dim)
+	case StepBitDim:
+		return x.c.ID() ^ 1<<s.Dim
 	default:
 		x.c.failf("schedule %s step %d (%s) has no partner", x.sch.Name, x.pos, s.Kind)
 		return -1 // unreachable: failf aborts the run
@@ -240,6 +315,13 @@ func (x *Exec[T]) Partner() int { return x.partner(x.step()) }
 // that supports fault annotations.
 func (x *Exec[T]) Exchange(v T) T {
 	s := x.step()
+	if s.Kind == StepRecDim {
+		// The routed compare-exchange has its own 3-cycle choreography;
+		// fault annotations never reach this kind (RewriteFT rejects them).
+		r := RecDimExchange(x.c, x.sch.D, s.Dim, v)
+		x.pos++
+		return r
+	}
 	var r T
 	if s.Broken != nil && s.Broken[x.c.ID()] {
 		x.c.Idle()
@@ -373,4 +455,47 @@ func RelayOneWay[T any](c *Ctx[T], path []int, v T) (T, bool) {
 		}
 	}
 	return cur, pos == last
+}
+
+// RecDimExchange performs the parallel recursive-dimension-j exchange of the
+// dual-cube's recursive presentation: every node sends v to its dimension-j
+// partner (in recursive-ID space) and receives the partner's value. All
+// nodes of the machine must call it with the same j in the same cycle.
+//
+// For j = 0 every pair is a direct cross-edge and the exchange is a single
+// cycle. For j > 0 half the pairs are direct links while the other half must
+// route through two cross-edges, making the parallel exchange three cycles
+// (Section 6's "three time-units"). Let w be a node whose class parity
+// matches j (so {w, w_j} is a direct link) and v = w's cross neighbor:
+//
+//	cycle 1: w sends its own value on the j-link and receives both its
+//	         partner's value (j-link) and v's foreign value (cross-edge);
+//	         v sends its value over the cross-edge.
+//	cycle 2: w relays the foreign value on the j-link and receives the
+//	         foreign value relayed by its partner; v is idle.
+//	cycle 3: w returns the relayed value over the cross-edge; v receives
+//	         its partner's value.
+//
+// Every directed link carries at most one message per cycle and every node
+// sends at most once per cycle; relay nodes receive on two links in cycle 1
+// (the bidirectional-channel allowance). This is the choreography behind
+// StepRecDim: Exec.Exchange runs it on the engines, and RunDirect reproduces
+// its accounting (3 cycles, 2N messages) without executing the relays.
+func RecDimExchange[T any](c *Ctx[T], d *topology.DualCube, j int, v T) T {
+	u := c.ID()
+	cross := d.CrossNeighbor(u)
+	if j == 0 {
+		return c.Exchange(cross, v)
+	}
+	r := d.ToRecursive(u)
+	if d.RecDirect(r, j) {
+		jp := d.FromRecursive(r ^ 1<<j)
+		own, foreign := c.SendRecv2(jp, v, jp, cross) // cycle 1
+		relayed := c.SendRecv(jp, foreign, jp)        // cycle 2
+		c.Send(cross, relayed)                        // cycle 3
+		return own
+	}
+	c.Send(cross, v) // cycle 1
+	c.Idle()         // cycle 2
+	return c.Recv(cross)
 }

@@ -14,9 +14,17 @@
 //     the same wire;
 //   - the prefix schedule fits Theorem 1: 2n communication steps plus one
 //     local combine, total 2n+1;
+//   - the sort schedule fits Theorem 2: Algorithm 3's merge ladder in exactly
+//     DSortCompSteps(n) = 2n²-n compare-exchange steps whose communication
+//     cost is exactly DSortCommSteps(n) = 6n²-7n+2 cycles (each StepRecDim
+//     is the 3-cycle routed exchange), with every recursive-dimension
+//     matching the involution r ↔ r^(1<<j); the hypercube baseline fits
+//     q(q+1)/2 single-cycle steps;
 //   - fault rewrites (dcomm.RewriteFT) annotate exactly the severed pairs of
 //     each matching, repair them over alive simple detours of at most 7 hops
-//     (for f <= n-1 faults), and account RepairCycles exactly.
+//     (for f <= n-1 faults), and account RepairCycles exactly — and refuse
+//     the recursive-technique sort schedules, whose 3-cycle choreography has
+//     no static detour form.
 //
 // cmd/dcvet runs Verify over n = 2..7 alongside the source analyzers, making
 // "every schedule the runtime can compile is well-formed" part of vetting.
@@ -28,6 +36,7 @@ import (
 	"dualcube/internal/dcomm"
 	"dualcube/internal/fault"
 	"dualcube/internal/machine"
+	"dualcube/internal/sortnet"
 	"dualcube/internal/topology"
 )
 
@@ -225,6 +234,180 @@ func CheckSchedule(sch *machine.Schedule, d *topology.DualCube, op dcomm.Op) err
 	return nil
 }
 
+// CheckSortSchedule verifies the compiled D_sort schedule against Theorem 2:
+// Algorithm 3's flattened merge ladder — the level-1 base sort, then per
+// level l = 2..n a half-merge over dims 2l-3..0 and a final merge over dims
+// 2l-2..0 — as exactly DSortCompSteps(n) = 2n²-n compare-exchange steps
+// whose communication cost is exactly DSortCommSteps(n) = 6n²-7n+2 cycles:
+// one cycle per dimension-0 cross hop, three per StepRecDim. Each recursive
+// dimension's matching must be the involution r ↔ r^(1<<j) in recursive-ID
+// space, finalized partner-only (routed pairs are not adjacent, so there is
+// no link table), and the fault-free schedule must carry no annotations.
+func CheckSortSchedule(sch *machine.Schedule, d *topology.DualCube) error {
+	n, m, N := d.Order(), d.ClusterDim(), d.Nodes()
+	if sch.D != d {
+		return fmt.Errorf("schedcheck: %s: schedule bound to %s, want %s", sch.Name, sch.D.Name(), d.Name())
+	}
+
+	// The expected dimension ladder of Algorithm 3.
+	var dims []int
+	dims = append(dims, 0)
+	for l := 2; l <= n; l++ {
+		for j := 2*l - 3; j >= 0; j-- {
+			dims = append(dims, j)
+		}
+		for j := 2*l - 2; j >= 0; j-- {
+			dims = append(dims, j)
+		}
+	}
+	if len(dims) != sortnet.DSortCompSteps(n) {
+		return fmt.Errorf("schedcheck: internal: D_%d ladder has %d steps, closed form says %d", n, len(dims), sortnet.DSortCompSteps(n))
+	}
+	if len(sch.Steps) != len(dims) {
+		return fmt.Errorf("schedcheck: %s: %d steps, want 2n²-n = %d", sch.Name, len(sch.Steps), len(dims))
+	}
+	if got := sch.CommSteps(); got != len(dims) {
+		return fmt.Errorf("schedcheck: %s: %d communication steps, want %d (every step exchanges)", sch.Name, got, len(dims))
+	}
+	if got, want := sch.CommCycles(), sortnet.DSortCommSteps(n); got != want {
+		return fmt.Errorf("schedcheck: %s: %d communication cycles, want 6n²-7n+2 = %d (Theorem 2)", sch.Name, got, want)
+	}
+	if sch.RepairCycles != 0 {
+		return fmt.Errorf("schedcheck: %s: fault-free schedule has RepairCycles %d", sch.Name, sch.RepairCycles)
+	}
+
+	firstByPattern := make(map[int]*machine.Step, 2*n-1)
+	for i := range sch.Steps {
+		s := &sch.Steps[i]
+		if s.Broken != nil || s.Detours != nil {
+			return fmt.Errorf("schedcheck: %s step %d: fault-free schedule carries fault annotations", sch.Name, i)
+		}
+		j := dims[i]
+		if j == 0 {
+			if s.Kind != machine.StepCrossHop {
+				return fmt.Errorf("schedcheck: %s step %d: kind %s, want %s for dimension 0", sch.Name, i, s.Kind, machine.StepCrossHop)
+			}
+			if s.Pattern != m {
+				return fmt.Errorf("schedcheck: %s step %d: cross pattern %d, want %d", sch.Name, i, s.Pattern, m)
+			}
+		} else {
+			if s.Kind != machine.StepRecDim {
+				return fmt.Errorf("schedcheck: %s step %d: kind %s, want %s for dimension %d", sch.Name, i, s.Kind, machine.StepRecDim, j)
+			}
+			if s.Dim != j {
+				return fmt.Errorf("schedcheck: %s step %d: dimension %d, want %d", sch.Name, i, s.Dim, j)
+			}
+			if s.Pattern != m+j {
+				return fmt.Errorf("schedcheck: %s step %d: pattern %d, want m+j = %d", sch.Name, i, s.Pattern, m+j)
+			}
+		}
+
+		partners := s.Partners()
+		if partners == nil {
+			return fmt.Errorf("schedcheck: %s step %d: schedule not finalized (nil partner table)", sch.Name, i)
+		}
+		if len(partners) != N {
+			return fmt.Errorf("schedcheck: %s step %d: table length %d, want %d", sch.Name, i, len(partners), N)
+		}
+		if first, ok := firstByPattern[s.Pattern]; ok {
+			if &first.Partners()[0] != &partners[0] {
+				return fmt.Errorf("schedcheck: %s step %d: pattern %d tables not shared with earlier step", sch.Name, i, s.Pattern)
+			}
+			continue // shared tables were already verified node by node
+		}
+		firstByPattern[s.Pattern] = s
+
+		for u := 0; u < N; u++ {
+			p := int(partners[u])
+			if p < 0 || p >= N {
+				return fmt.Errorf("schedcheck: %s step %d: node %d partner %d out of range", sch.Name, i, u, p)
+			}
+			if p == u {
+				return fmt.Errorf("schedcheck: %s step %d: node %d paired with itself", sch.Name, i, u)
+			}
+			if int(partners[p]) != u {
+				return fmt.Errorf("schedcheck: %s step %d: matching not an involution at %d: partner %d pairs back to %d", sch.Name, i, u, p, partners[p])
+			}
+			expect := d.FromRecursive(d.ToRecursive(u) ^ 1<<j)
+			if p != expect {
+				return fmt.Errorf("schedcheck: %s step %d: node %d partner %d, want recursive-dimension-%d partner %d", sch.Name, i, u, p, j, expect)
+			}
+			if j == 0 {
+				// Dimension 0 is the cross matching: adjacent, with a link
+				// table the interpreter's fast path uses.
+				if p != d.CrossNeighbor(u) {
+					return fmt.Errorf("schedcheck: %s step %d: node %d cross partner %d, want %d", sch.Name, i, u, p, d.CrossNeighbor(u))
+				}
+				links := s.LinkIndexes()
+				if links == nil {
+					return fmt.Errorf("schedcheck: %s step %d: cross step has no link table", sch.Name, i)
+				}
+				row := d.Neighbors(u)
+				li := int(links[u])
+				if li < 0 || li >= len(row) || row[li] != p {
+					return fmt.Errorf("schedcheck: %s step %d: node %d link index %d does not select partner %d", sch.Name, i, u, li, p)
+				}
+			} else if s.LinkIndexes() != nil {
+				return fmt.Errorf("schedcheck: %s step %d: recursive-dimension step carries a link table (routed pairs are not adjacent)", sch.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCubeSortSchedule verifies the compiled hypercube bitonic-sort
+// schedule: stages k = 1..q sweeping StepBitDim exchanges over dimensions
+// k-1..0 — q(q+1)/2 steps of one cycle each — with every matching the
+// hypercube involution u ↔ u^(1<<j) over an adjacent link.
+func CheckCubeSortSchedule(sch *machine.Schedule, h *topology.Hypercube) error {
+	q, N := h.Dim(), h.Nodes()
+	if sch.Topology() != topology.Topology(h) {
+		return fmt.Errorf("schedcheck: %s: schedule bound to the wrong topology", sch.Name)
+	}
+	var dims []int
+	for k := 1; k <= q; k++ {
+		for j := k - 1; j >= 0; j-- {
+			dims = append(dims, j)
+		}
+	}
+	if len(sch.Steps) != len(dims) || len(dims) != sortnet.CubeSortSteps(q) {
+		return fmt.Errorf("schedcheck: %s: %d steps, want q(q+1)/2 = %d", sch.Name, len(sch.Steps), sortnet.CubeSortSteps(q))
+	}
+	if got := sch.CommCycles(); got != len(dims) {
+		return fmt.Errorf("schedcheck: %s: %d communication cycles, want %d", sch.Name, got, len(dims))
+	}
+	firstByPattern := make(map[int]*machine.Step, q)
+	for i := range sch.Steps {
+		s := &sch.Steps[i]
+		if s.Kind != machine.StepBitDim || s.Dim != dims[i] || s.Pattern != dims[i] {
+			return fmt.Errorf("schedcheck: %s step %d: got (%s dim %d pattern %d), want (%s dim %d pattern %d)", sch.Name, i, s.Kind, s.Dim, s.Pattern, machine.StepBitDim, dims[i], dims[i])
+		}
+		partners, links := s.Partners(), s.LinkIndexes()
+		if partners == nil || links == nil {
+			return fmt.Errorf("schedcheck: %s step %d: schedule not finalized (nil exchange tables)", sch.Name, i)
+		}
+		if first, ok := firstByPattern[s.Pattern]; ok {
+			if &first.Partners()[0] != &partners[0] {
+				return fmt.Errorf("schedcheck: %s step %d: pattern %d tables not shared with earlier step", sch.Name, i, s.Pattern)
+			}
+			continue
+		}
+		firstByPattern[s.Pattern] = s
+		for u := 0; u < N; u++ {
+			p := int(partners[u])
+			if p != u^1<<dims[i] {
+				return fmt.Errorf("schedcheck: %s step %d: node %d partner %d, want %d", sch.Name, i, u, p, u^1<<dims[i])
+			}
+			row := h.Neighbors(u)
+			li := int(links[u])
+			if li < 0 || li >= len(row) || row[li] != p {
+				return fmt.Errorf("schedcheck: %s step %d: node %d link index %d does not select partner %d", sch.Name, i, u, li, p)
+			}
+		}
+	}
+	return nil
+}
+
 // CheckFT verifies a RewriteFT output against its base schedule and fault
 // view: annotations mark exactly the severed pairs, detours repair them over
 // alive simple paths in canonical order, and the repair-cycle account is
@@ -370,8 +553,12 @@ func checkDetour(d *topology.DualCube, view *fault.View, dt *machine.Detour, sev
 var ftSeeds = []int64{2008, 42}
 
 // Verify runs the full static battery for every order in [minOrder,
-// maxOrder]: all operations' fault-free schedules, plus RewriteFT variants
-// under f = 1 and f = n-1 random link faults per seed.
+// maxOrder]: all cluster-technique operations' fault-free schedules plus
+// RewriteFT variants under f = 1 and f = n-1 random link faults per seed;
+// the D_sort schedule against Theorem 2's exact step and cycle counts, with
+// the assertion that RewriteFT refuses to annotate it; and the hypercube
+// bitonic-sort baseline for every q up to 2·maxOrder-1 (the dimension whose
+// node count matches D_maxOrder).
 func Verify(minOrder, maxOrder int) error {
 	for n := minOrder; n <= maxOrder; n++ {
 		d, err := topology.Shared(n)
@@ -379,11 +566,23 @@ func Verify(minOrder, maxOrder int) error {
 			return err
 		}
 		for op := dcomm.OpPrefix; op < dcomm.OpEnd; op++ {
-			if err := Check(d, op); err != nil {
-				return err
-			}
 			base, err := dcomm.Compiled(d, op)
 			if err != nil {
+				return err
+			}
+			if op == dcomm.OpDSort {
+				if err := CheckSortSchedule(base, d); err != nil {
+					return err
+				}
+				// The recursive-technique choreography has no static detour
+				// form; the rewrite must refuse, never mis-annotate.
+				view := fault.NewView(d, fault.Random(d, 1, ftSeeds[0]))
+				if _, err := dcomm.RewriteFT(base, view); err == nil {
+					return fmt.Errorf("schedcheck: %s: RewriteFT accepted a recursive-technique schedule", base.Name)
+				}
+				continue
+			}
+			if err := Check(d, op); err != nil {
 				return err
 			}
 			for _, f := range faultBudgets(n) {
@@ -401,6 +600,15 @@ func Verify(minOrder, maxOrder int) error {
 					}
 				}
 			}
+		}
+	}
+	for q := 0; q <= 2*maxOrder-1; q++ {
+		h, err := topology.NewHypercube(q)
+		if err != nil {
+			return err
+		}
+		if err := CheckCubeSortSchedule(dcomm.CompiledCubeSort(h), h); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 	"dualcube/internal/dcomm"
 	"dualcube/internal/fault"
 	"dualcube/internal/machine"
+	"dualcube/internal/sortnet"
 	"dualcube/internal/topology"
 )
 
@@ -32,6 +33,9 @@ func TestCommStepCounts(t *testing.T) {
 	for n := 2; n <= 7; n++ {
 		d := topology.MustDualCube(n)
 		for op := dcomm.OpPrefix; op < dcomm.OpEnd; op++ {
+			if op == dcomm.OpDSort {
+				continue // Theorem 2 counts; pinned by TestSortScheduleCounts
+			}
 			sch, err := dcomm.Compiled(d, op)
 			if err != nil {
 				t.Fatalf("n=%d %s: %v", n, op, err)
@@ -50,6 +54,91 @@ func TestCommStepCounts(t *testing.T) {
 				t.Errorf("n=%d %s: last step is not the local combine", n, op)
 			}
 		}
+	}
+}
+
+// TestSortScheduleCounts pins Theorem 2 statically for D_2..D_6: the
+// compiled sort schedule has exactly 2n²-n compare-exchange steps costing
+// exactly 6n²-7n+2 communication cycles, proven from the step tables alone
+// (CheckSortSchedule verifies every matching), without running the machine.
+func TestSortScheduleCounts(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		d, err := topology.Shared(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := dcomm.Compiled(d, dcomm.OpDSort)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := CheckSortSchedule(sch, d); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got, want := len(sch.Steps), sortnet.DSortCompSteps(n); got != want {
+			t.Errorf("n=%d: %d steps, want 2n²-n = %d", n, got, want)
+		}
+		if got, want := sch.CommCycles(), sortnet.DSortCommSteps(n); got != want {
+			t.Errorf("n=%d: %d comm cycles, want 6n²-7n+2 = %d", n, got, want)
+		}
+		if got, bound := sch.CommCycles(), sortnet.PaperSortCommBound(n); got > bound {
+			t.Errorf("n=%d: %d comm cycles exceed Theorem 2's 6n² = %d", n, got, bound)
+		}
+	}
+}
+
+// TestCheckSortScheduleCatchesTampering corrupts the compiled sort schedule
+// and expects the checker to reject each corruption.
+func TestCheckSortScheduleCatchesTampering(t *testing.T) {
+	d := topology.MustDualCube(3)
+	// Build privately (mirroring dcomm's OpDSort layout) so the shared cache
+	// is never poisoned.
+	m := d.ClusterDim()
+	sch := &machine.Schedule{Name: "dsort/" + d.Name(), D: d}
+	add := func(j int) {
+		if j == 0 {
+			sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepCrossHop, Dim: -1, Pattern: m})
+			return
+		}
+		sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepRecDim, Dim: j, Pattern: m + j})
+	}
+	add(0)
+	for l := 2; l <= 3; l++ {
+		for j := 2*l - 3; j >= 0; j-- {
+			add(j)
+		}
+		for j := 2*l - 2; j >= 0; j-- {
+			add(j)
+		}
+	}
+	sch.Finalize()
+	if err := CheckSortSchedule(sch, d); err != nil {
+		t.Fatalf("pristine schedule rejected: %v", err)
+	}
+
+	var rec *machine.Step
+	for i := range sch.Steps {
+		if sch.Steps[i].Kind == machine.StepRecDim {
+			rec = &sch.Steps[i]
+			break
+		}
+	}
+	partners := rec.Partners()
+	orig := partners[0]
+	partners[0] = partners[2]
+	if CheckSortSchedule(sch, d) == nil {
+		t.Error("tampered partner table passed verification")
+	}
+	partners[0] = orig
+
+	rec.Dim++
+	if CheckSortSchedule(sch, d) == nil {
+		t.Error("tampered dimension passed verification")
+	}
+	rec.Dim--
+
+	sch.Steps = sch.Steps[:len(sch.Steps)-1]
+	if CheckSortSchedule(sch, d) == nil {
+		t.Error("truncated ladder passed verification")
 	}
 }
 

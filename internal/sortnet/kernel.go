@@ -1,0 +1,180 @@
+package sortnet
+
+import (
+	"sync/atomic"
+
+	"dualcube/internal/machine"
+	"dualcube/internal/topology"
+)
+
+// This file is the compare-exchange kernel: the sort family expressed as a
+// machine.DirectKernel over a compiled schedule. A sort schedule (dcomm's
+// OpDSort on the dual-cube, CompiledCubeSort on the hypercube) fixes the
+// communication pattern — which dimension each step exchanges — while the
+// kernel supplies the data motion: every node produces its current key,
+// absorbs the partner's, and keeps the min or the max as decided by
+// keepMinAt over its sort ID and the step's direction bit. The direction
+// plan (which recursive-ID bit orients each step, or the caller's Order for
+// the final merge) depends only on the machine order, so it is computed
+// once per order and cached beside the compiled schedule.
+
+// exchMeta is the per-step half of the direction plan: the dimension the
+// step compares on and the sort-ID bit that orients the merge. dirBit is
+// dirByOrder for the steps of the outermost merge, where the caller's
+// requested Order applies instead of an ID bit.
+type exchMeta struct {
+	dim    int8
+	dirBit int8
+}
+
+// dirByOrder marks a step oriented by the requested Order (the paper's tag)
+// rather than by a sort-ID bit.
+const dirByOrder = -1
+
+// dsortPlan is the cached direction plan of D_sort on one order: the step
+// metas of Algorithm 3's flattened ladder plus the node-ID → recursive-ID
+// table (the sort ID space of the dual-cube).
+type dsortPlan struct {
+	metas []exchMeta
+	rec   []int32
+}
+
+var dsortPlans [topology.MaxDualCubeOrder + 1]atomic.Pointer[dsortPlan]
+
+// dsortPlanFor returns the cached direction plan of D_sort on d, building
+// it on first use. The meta sequence mirrors dcomm's OpDSort schedule step
+// for step: the level-1 base sort, then per level l a half-merge oriented by
+// recursive bit 2l-2 and a final merge oriented by bit 2l-1 (the enclosing
+// quarter's alternation) — or by the requested Order at the top level.
+func dsortPlanFor(d *topology.DualCube) *dsortPlan {
+	slot := &dsortPlans[d.Order()]
+	if p := slot.Load(); p != nil {
+		return p
+	}
+	n := d.Order()
+	p := &dsortPlan{rec: make([]int32, d.Nodes())}
+	for u := range p.rec {
+		p.rec[u] = int32(d.ToRecursive(u))
+	}
+	add := func(dim, dirBit int) {
+		p.metas = append(p.metas, exchMeta{dim: int8(dim), dirBit: int8(dirBit)})
+	}
+	if n == 1 {
+		add(0, dirByOrder)
+	} else {
+		add(0, 1)
+	}
+	for l := 2; l <= n; l++ {
+		for j := 2*l - 3; j >= 0; j-- {
+			add(j, 2*l-2)
+		}
+		dir := dirByOrder
+		if l < n {
+			dir = 2*l - 1
+		}
+		for j := 2*l - 2; j >= 0; j-- {
+			add(j, dir)
+		}
+	}
+	if slot.CompareAndSwap(nil, p) {
+		return p
+	}
+	return slot.Load()
+}
+
+var cubeSortMetas [topology.MaxHypercubeDim + 1]atomic.Pointer[[]exchMeta]
+
+// cubeSortMetasFor returns the cached direction plan of Batcher's bitonic
+// sort on Q_q: stage k compares dimensions k-1..0 oriented by node bit k
+// (the 2^k-block alternation), with the final stage oriented by the
+// requested Order. The hypercube's sort IDs are the node IDs themselves.
+func cubeSortMetasFor(q int) []exchMeta {
+	slot := &cubeSortMetas[q]
+	if m := slot.Load(); m != nil {
+		return *m
+	}
+	metas := make([]exchMeta, 0, q*(q+1)/2)
+	for k := 1; k <= q; k++ {
+		dir := dirByOrder
+		if k < q {
+			dir = k
+		}
+		for j := k - 1; j >= 0; j-- {
+			metas = append(metas, exchMeta{dim: int8(j), dirBit: int8(dir)})
+		}
+	}
+	if slot.CompareAndSwap(nil, &metas) {
+		return metas
+	}
+	return *slot.Load()
+}
+
+// exchKernel runs a direction plan as a DirectKernel: one compare-exchange
+// per schedule step. key holds each node's current key indexed by node ID;
+// id maps node IDs to sort IDs (nil for the hypercube, whose node IDs are
+// the sort IDs). snaps, when non-nil, receives the Figure 5/6 trace: one
+// key snapshot per step, indexed by sort ID.
+type exchKernel[K any] struct {
+	less  func(a, b K) bool
+	ord   Order
+	id    []int32
+	key   []K
+	metas []exchMeta
+	snaps []*Step[K]
+}
+
+func (ek *exchKernel[K]) sortID(u int) int {
+	if ek.id == nil {
+		return u
+	}
+	return int(ek.id[u])
+}
+
+func (ek *exchKernel[K]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, K) {
+	return machine.DirectExchange, ek.key[u]
+}
+
+func (ek *exchKernel[K]) Absorb(dc *machine.DirectCtx, k, u int, v K) {
+	meta := ek.metas[k]
+	id := ek.sortID(u)
+	dir := ek.ord
+	if meta.dirBit >= 0 {
+		dir = Order(id >> meta.dirBit & 1)
+	}
+	dc.Ops(1)
+	// The compare half of the exchange; ties keep the local key, which makes
+	// the step deterministic for equal keys.
+	key := ek.key[u]
+	if keepMinAt(id, int(meta.dim), dir) {
+		if ek.less(v, key) {
+			key = v
+		}
+	} else if ek.less(key, v) {
+		key = v
+	}
+	ek.key[u] = key
+	if ek.snaps != nil {
+		ek.snaps[k].Keys[id] = key
+	}
+}
+
+func (ek *exchKernel[K]) Local(dc *machine.DirectCtx, k, u int) {}
+
+// newDSortKernel loads keys (given in recursive-ID order) onto the nodes of
+// d and pairs them with the order's direction plan.
+func newDSortKernel[K any](d *topology.DualCube, keys []K, less func(a, b K) bool, ord Order, snaps []*Step[K]) *exchKernel[K] {
+	plan := dsortPlanFor(d)
+	key := make([]K, len(keys))
+	for u := range key {
+		key[u] = keys[plan.rec[u]]
+	}
+	return &exchKernel[K]{less: less, ord: ord, id: plan.rec, key: key, metas: plan.metas, snaps: snaps}
+}
+
+// unload reads the sorted keys back in sort-ID order.
+func (ek *exchKernel[K]) unload(out []K) []K {
+	for u := range ek.key {
+		out[ek.sortID(u)] = ek.key[u]
+	}
+	return out
+}

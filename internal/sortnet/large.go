@@ -63,6 +63,9 @@ func DSortLarge[K any](n, k int, keys []K, less func(a, b K) bool, ord Order) ([
 	if len(keys) != k*d.Nodes() {
 		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys != k*N = %d", len(keys), k*d.Nodes())
 	}
+	if err := validOrder(ord); err != nil {
+		return nil, machine.Stats{}, err
+	}
 	out := make([]K, len(keys))
 	eng, err := machine.New[[]K](d, machine.Config{})
 	if err != nil {
@@ -124,6 +127,9 @@ func CubeSortLarge[K any](q, k int, keys []K, less func(a, b K) bool, ord Order)
 	}
 	if len(keys) != k*h.Nodes() {
 		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys != k*N = %d", len(keys), k*h.Nodes())
+	}
+	if err := validOrder(ord); err != nil {
+		return nil, machine.Stats{}, err
 	}
 	out := make([]K, len(keys))
 	eng, err := machine.New[[]K](h, machine.Config{})

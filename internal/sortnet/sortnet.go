@@ -30,29 +30,27 @@ const (
 	Descending
 )
 
-// String returns "asc" or "desc".
+// String returns "asc" or "desc" for the two valid directions, and the
+// Go-syntax form for anything else — an invalid Order must not label itself
+// as either direction (the sort entry points reject it up front).
 func (o Order) String() string {
-	if o == Descending {
+	switch o {
+	case Ascending:
+		return "asc"
+	case Descending:
 		return "desc"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
 	}
-	return "asc"
 }
 
-// cmpExch performs one compare-and-exchange with the exchanged value:
-// returns the min of (key, other) when keepMin, else the max. Ties keep the
-// local key, which makes the step deterministic for equal keys.
-func cmpExch[K any](c *machine.Ctx[K], less func(a, b K) bool, keepMin bool, key, other K) K {
-	c.Ops(1)
-	if keepMin {
-		if less(other, key) {
-			return other
-		}
-		return key
+// validOrder rejects Order values outside the two-member enum with the
+// uniform validation-error wording shared by every sort entry point.
+func validOrder(ord Order) error {
+	if ord != Ascending && ord != Descending {
+		return fmt.Errorf("sortnet: invalid Order(%d): want Ascending or Descending", int(ord))
 	}
-	if less(key, other) {
-		return other
-	}
-	return key
+	return nil
 }
 
 // keepMinAt decides which endpoint of a dimension-j pair keeps the smaller
@@ -69,7 +67,8 @@ func keepMinAt(id, j int, dir Order) bool {
 // CubeSort runs Batcher's bitonic sort on the hypercube Q_q: keys[u] is
 // placed on node u, and the result is the sorted permutation in node-ID
 // order. It performs q(q+1)/2 compare-exchange steps, each a single
-// communication cycle.
+// communication cycle, over the compiled schedule — the direct kernel
+// executor by default, or a simulator engine under an engine scheduler.
 func CubeSort[K any](q int, keys []K, less func(a, b K) bool, ord Order) ([]K, machine.Stats, error) {
 	h, err := topology.NewHypercube(q)
 	if err != nil {
@@ -78,33 +77,18 @@ func CubeSort[K any](q int, keys []K, less func(a, b K) bool, ord Order) ([]K, m
 	if len(keys) != h.Nodes() {
 		return nil, machine.Stats{}, fmt.Errorf("sortnet: %d keys for %d nodes of %s", len(keys), h.Nodes(), h.Name())
 	}
-	out := make([]K, len(keys))
-	eng, err := machine.New[K](h, machine.Config{})
-	if err != nil {
+	if err := validOrder(ord); err != nil {
 		return nil, machine.Stats{}, err
 	}
-	defer eng.Release()
-	st, err := eng.Run(func(c *machine.Ctx[K]) {
-		u := c.ID()
-		key := keys[u]
-		for k := 1; k <= q; k++ {
-			// Direction of the 2^k-block containing u at this stage; the
-			// final stage merges the whole cube in the requested order.
-			dir := ord
-			if k < q {
-				dir = Order(u >> k & 1)
-			}
-			for j := k - 1; j >= 0; j-- {
-				other := c.Exchange(u^1<<j, key)
-				key = cmpExch(c, less, keepMinAt(u, j, dir), key, other)
-			}
-		}
-		out[u] = key
-	})
+	sch := dcomm.CompiledCubeSort(h)
+	key := make([]K, len(keys))
+	copy(key, keys)
+	kern := &exchKernel[K]{less: less, ord: ord, key: key, metas: cubeSortMetasFor(q)}
+	st, err := dcomm.Execute(sch, machine.Config{}, kern)
 	if err != nil {
 		return nil, st, err
 	}
-	return out, st, nil
+	return key, st, nil
 }
 
 // Trace records the evolution of the key vector during a D_sort run: the
@@ -162,100 +146,78 @@ func dsortSchedule(n int) []Step[struct{}] {
 //   - the final-merge phase (dims 2l-2 .. 0) sorts it in the level's
 //     direction.
 //
-// Every dimension-j step uses dcomm.DimExchange: one cycle for j = 0,
-// three cycles otherwise (half the pairs route through two cross-edges).
+// Every dimension-j step is one compiled schedule step — a cross hop for
+// j = 0, a 3-cycle StepRecDim exchange otherwise (half the pairs route
+// through two cross-edges) — run on the direct kernel executor by default,
+// or interpreted on a simulator engine under an engine scheduler.
 // tr may be nil; when non-nil it receives the Figure 5/6 snapshots.
 func DSort[K any](n int, keys []K, less func(a, b K) bool, ord Order, tr *Trace[K]) ([]K, machine.Stats, error) {
 	d, err := topology.Validated(n, len(keys))
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
+	if err := validOrder(ord); err != nil {
+		return nil, machine.Stats{}, err
+	}
+	sch, err := dcomm.Compiled(d, dcomm.OpDSort)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 
 	// Optional tracing: preallocate one snapshot per scheduled step.
 	var snaps []*Step[K]
+	tr0 := 0
 	if tr != nil {
+		tr0 = len(tr.Steps)
 		tr.Steps = append(tr.Steps, Step[K]{Label: "input", Level: 0, Dim: -1, Keys: append([]K(nil), keys...)})
 		for _, s := range dsortSchedule(n) {
 			tr.Steps = append(tr.Steps, Step[K]{Label: s.Label, Level: s.Level, Dim: s.Dim, Keys: make([]K, d.Nodes())})
 		}
-		for i := 1; i < len(tr.Steps); i++ {
+		for i := tr0 + 1; i < len(tr.Steps); i++ {
 			snaps = append(snaps, &tr.Steps[i])
 		}
 	}
 
-	out := make([]K, len(keys))
-	eng, err := machine.New[K](d, machine.Config{})
+	kern := newDSortKernel(d, keys, less, ord, snaps)
+	st, err := dcomm.Execute(sch, machine.Config{}, kern)
 	if err != nil {
-		return nil, machine.Stats{}, err
-	}
-	defer eng.Release()
-	st, err := eng.Run(dsortProgram(d, n, keys, less, ord, out, snaps))
-	if err != nil {
+		if tr != nil {
+			// Discard the preallocated snapshots: a failed run leaves them as
+			// zero-value garbage, not Figure 5/6 data.
+			tr.Steps = tr.Steps[:tr0]
+		}
 		return nil, st, err
 	}
-	return out, st, nil
+	return kern.unload(make([]K, len(keys))), st, nil
 }
 
 // DSortRecorded is DSort with full message recording (per-link loads and
 // the space-time event log) for the traffic analysis of experiment E14.
+// Recording is an engine facility, so this always runs the kernel through
+// the schedule interpreter regardless of the configured scheduler.
 func DSortRecorded[K any](n int, keys []K, less func(a, b K) bool, ord Order) ([]K, machine.Stats, *machine.Recording, error) {
 	d, err := topology.Validated(n, len(keys))
 	if err != nil {
 		return nil, machine.Stats{}, nil, err
 	}
-	out := make([]K, len(keys))
+	if err := validOrder(ord); err != nil {
+		return nil, machine.Stats{}, nil, err
+	}
+	sch, err := dcomm.Compiled(d, dcomm.OpDSort)
+	if err != nil {
+		return nil, machine.Stats{}, nil, err
+	}
+	kern := newDSortKernel(d, keys, less, ord, nil)
 	eng, err := machine.New[K](d, machine.Config{})
 	if err != nil {
 		return nil, machine.Stats{}, nil, err
 	}
 	defer eng.Release()
-	st, rec, err := eng.RunRecorded(dsortProgram(d, n, keys, less, ord, out, nil))
+	st, rec, err := eng.RunRecorded(machine.KernelProgram(sch, kern))
 	if err != nil {
 		return nil, st, nil, err
 	}
-	return out, st, rec, nil
-}
-
-// dsortProgram builds the per-node SPMD program of Algorithm 3. snaps,
-// when non-nil, receives one key snapshot per compare-exchange step.
-func dsortProgram[K any](d *topology.DualCube, n int, keys []K, less func(a, b K) bool, ord Order, out []K, snaps []*Step[K]) func(c *machine.Ctx[K]) {
-	return func(c *machine.Ctx[K]) {
-		r := d.ToRecursive(c.ID())
-		key := keys[r]
-		step := 0
-		record := func() {
-			if snaps != nil {
-				snaps[step].Keys[r] = key
-			}
-			step++
-		}
-		exch := func(j int, dir Order) {
-			other := dcomm.DimExchange(c, d, j, key)
-			key = cmpExch(c, less, keepMinAt(r, j, dir), key, other)
-			record()
-		}
-		for l := 1; l <= n; l++ {
-			// Direction of this sub-dual-cube's own sort: the paper's
-			// recursion sorts quarter i of the enclosing level ascending for
-			// even i, descending for odd i; the top level uses the tag.
-			dir := ord
-			if l < n {
-				dir = Order(r >> (2*l - 1) & 1)
-			}
-			if l > 1 {
-				// Half-merge: ascending in the 0-half of the sub-dual-cube,
-				// descending in the 1-half (paper: direction by u_{2n-2}).
-				for j := 2*l - 3; j >= 0; j-- {
-					exch(j, Order(r>>(2*l-2)&1))
-				}
-			}
-			// Final merge in the sub-dual-cube's direction.
-			for j := 2*l - 2; j >= 0; j-- {
-				exch(j, dir)
-			}
-		}
-		out[r] = key
-	}
+	return kern.unload(make([]K, len(keys))), st, rec, nil
 }
 
 // DSortCommSteps returns the exact communication time of our D_sort

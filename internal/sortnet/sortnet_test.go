@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dualcube/internal/machine"
 	"dualcube/internal/seq"
 )
 
@@ -347,6 +348,69 @@ func TestDSortBadInput(t *testing.T) {
 	}
 }
 
+func TestSortInvalidOrder(t *testing.T) {
+	// Order(2) used to sort descending while labelling itself "asc"; every
+	// entry point now rejects it with the uniform validation wording.
+	const want = "sortnet: invalid Order(2): want Ascending or Descending"
+	bad := Order(2)
+	if _, _, err := DSort(2, make([]int, 8), intLess, bad, nil); err == nil || err.Error() != want {
+		t.Errorf("DSort: err = %v, want %q", err, want)
+	}
+	if _, _, err := CubeSort(3, make([]int, 8), intLess, bad); err == nil || err.Error() != want {
+		t.Errorf("CubeSort: err = %v, want %q", err, want)
+	}
+	if _, _, _, err := DSortRecorded(2, make([]int, 8), intLess, bad); err == nil || err.Error() != want {
+		t.Errorf("DSortRecorded: err = %v, want %q", err, want)
+	}
+	if _, _, err := DSortLarge(2, 2, make([]int, 16), intLess, bad); err == nil || err.Error() != want {
+		t.Errorf("DSortLarge: err = %v, want %q", err, want)
+	}
+	if _, _, err := CubeSortLarge(3, 2, make([]int, 16), intLess, bad); err == nil || err.Error() != want {
+		t.Errorf("CubeSortLarge: err = %v, want %q", err, want)
+	}
+	// The trace must stay untouched when validation rejects the call.
+	var tr Trace[int]
+	if _, _, err := DSort(2, make([]int, 8), intLess, bad, &tr); err == nil {
+		t.Error("traced DSort with invalid Order should fail")
+	}
+	if len(tr.Steps) != 0 {
+		t.Errorf("trace has %d steps after rejected call", len(tr.Steps))
+	}
+}
+
+func TestDSortTraceResetOnError(t *testing.T) {
+	// A run that fails mid-program must not leave the trace populated with
+	// preallocated zero-value snapshots (stale Figure 5/6 data).
+	defer machine.SetDefaultFaults(nil)
+	machine.SetDefaultFaults(&machine.FaultSpec{Links: [][2]int{{0, 1}}})
+	in := []int{5, 3, 7, 1, 6, 0, 4, 2}
+	var tr Trace[int]
+	if _, _, err := DSort(2, in, intLess, Ascending, &tr); err == nil {
+		t.Fatal("DSort under a permanent link fault should fail")
+	}
+	if len(tr.Steps) != 0 {
+		t.Fatalf("trace has %d steps after failed run", len(tr.Steps))
+	}
+	// A pre-populated trace keeps its earlier entries and only drops the
+	// failed run's snapshots.
+	tr.Steps = append(tr.Steps, Step[int]{Label: "earlier"})
+	if _, _, err := DSort(2, in, intLess, Ascending, &tr); err == nil {
+		t.Fatal("DSort under a permanent link fault should fail")
+	}
+	if len(tr.Steps) != 1 || tr.Steps[0].Label != "earlier" {
+		t.Fatalf("pre-existing trace entries clobbered: %+v", tr.Steps)
+	}
+	// And the same input succeeds with an intact trace once faults clear.
+	machine.SetDefaultFaults(nil)
+	tr = Trace[int]{}
+	if _, _, err := DSort(2, in, intLess, Ascending, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 1+DSortCompSteps(2) {
+		t.Fatalf("trace has %d steps after clean run", len(tr.Steps))
+	}
+}
+
 func TestDSortStepFormulas(t *testing.T) {
 	// Closed forms vs the recurrences in the proof of Theorem 2.
 	commRec, compRec := 1, 1
@@ -445,6 +509,13 @@ func TestDSortTraceLabels(t *testing.T) {
 func TestOrderString(t *testing.T) {
 	if Ascending.String() != "asc" || Descending.String() != "desc" {
 		t.Error("Order.String broken")
+	}
+	// Invalid values must not claim either direction.
+	if got := Order(2).String(); got != "Order(2)" {
+		t.Errorf("Order(2).String() = %q", got)
+	}
+	if got := Order(-1).String(); got != "Order(-1)" {
+		t.Errorf("Order(-1).String() = %q", got)
 	}
 }
 
