@@ -159,6 +159,25 @@ func TestWarmRuntimeAllocGuard(t *testing.T) {
 			_, _, err := AllReduceSumOn(rt, in)
 			return err
 		}},
+		// Broadcast moves one value, so its warm floor is flat like prefix
+		// (measured 7 allocs/op); gather and scatter move per-node bundles
+		// and allocate result storage as bundles split or merge, so their
+		// warm floor scales with the node count (measured 4102 and 8176
+		// allocs/op on D_6). The ceilings pin those measured counts with
+		// only noise headroom: a regression adding even one alloc per node
+		// and step (2048 x 12) still fails loudly.
+		{"BroadcastOn", 16, func() error {
+			_, _, err := BroadcastOn(rt, 3, 42)
+			return err
+		}},
+		{"GatherOn", 4500, func() error {
+			_, _, err := GatherOn(rt, 1, in)
+			return err
+		}},
+		{"ScatterOn", 8700, func() error {
+			_, _, err := ScatterOn(rt, 1, in)
+			return err
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

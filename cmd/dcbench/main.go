@@ -6,7 +6,8 @@
 // Usage:
 //
 //	dcbench                  # run every experiment
-//	dcbench -exp E8          # one experiment: E2 E4 E5 E8 E9 E10 E11 E12 E13 E14 E16 E17 E18 E19 E20
+//	dcbench -exp E8          # one experiment; the id list in -h comes from
+//	                         # the registry (internal/experiments/registry.go)
 //	dcbench -json            # benchmark sweep as JSON lines: one point per
 //	                         # experiment (name, order, ns/op, allocs/op, cycles)
 //	dcbench -json -sched worker-pool  # same sweep on an explicit backend
@@ -30,7 +31,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E2, E4, E5, E8, E9, E10, E11, E12, E13, E14, E16, E17, E18, E19, E20) or 'all'")
+	// The experiment list comes from the registry so this help text cannot
+	// rot as experiments are added.
+	exp := flag.String("exp", "all", "experiment id ("+experiments.IDList()+") or 'all'")
 	faults := flag.Bool("faults", false, "run the seeded fault sweep (degraded D_prefix, f = 0..n-1 on D_4..D_6)")
 	jsonOut := flag.Bool("json", false, "emit JSON lines: alone, the benchmark sweep (one point per experiment); with -faults, the fault sweep")
 	sched := flag.String("sched", "", "with -json: backend to benchmark (direct, worker-pool, goroutine-per-node; empty = package defaults)")
@@ -75,41 +78,28 @@ func main() {
 	case *jsonOut:
 		out, err = experiments.BenchJSON(*sched, 5)
 	default:
-		switch *exp {
-		case "all":
+		if *exp == "all" {
 			out, err = experiments.All()
-		case "E2":
-			out, err = experiments.E2Topology(8, 4)
-		case "E4":
-			out, err = experiments.E4Prefix(7)
-		case "E5":
-			out, err = experiments.E5CubePrefix(13)
-		case "E8":
-			out, err = experiments.E8Sort(6)
-		case "E9", "E10":
-			out, err = experiments.E9E10CubeSortAndOverhead(6)
-		case "E11":
-			out, err = experiments.E11Compare()
-		case "E12":
-			out, err = experiments.E12Large(3, []int{1, 4, 16, 64})
-		case "E13":
-			out, err = experiments.E13Collectives(7)
-		case "E14":
-			out, err = experiments.E14LinkLoads(5)
-		case "E16":
-			out, err = experiments.E16Emulation(5)
-		case "E17":
-			out, err = experiments.E17SampleSort(5, 16)
-		case "E18":
-			out, err = experiments.E18FaultSweep(4, 6, *seed)
-		case "E19":
-			out, err = experiments.E19FaultTolerance(6, 20, *seed)
-		case "E20":
-			out, err = experiments.E20ColdVsWarm(4, *maxN, *runs, freshProcessCold, freshProcessWarm)
-		default:
-			fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q\n", *exp)
+			break
+		}
+		e, ok := experiments.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q (known: %s)\n", *exp, experiments.IDList())
 			os.Exit(2)
 		}
+		if e.Run == nil {
+			// Benchmarks and the serving load generator live outside
+			// dcbench; point at the reproduction command instead.
+			out = fmt.Sprintf("%s — %s\nreproduce with: %s\n", e.ID, e.Title, e.HowTo)
+			break
+		}
+		opts := experiments.DefaultOptions()
+		opts.Seed = *seed
+		opts.MaxN = *maxN
+		opts.Runs = *runs
+		opts.Cold = freshProcessCold
+		opts.Warm = freshProcessWarm
+		out, err = e.Run(opts)
 	}
 	fmt.Print(out)
 	if err != nil {

@@ -292,31 +292,5 @@ func E13Collectives(maxN int) (string, error) {
 	return t.String(), nil
 }
 
-// All runs every experiment at its default scale and concatenates the
-// tables. This is what cmd/dcbench prints and what EXPERIMENTS.md records.
-func All() (string, error) {
-	var sb strings.Builder
-	for _, f := range []func() (string, error){
-		func() (string, error) { return E2Topology(8, 4) },
-		func() (string, error) { return E4Prefix(7) },
-		func() (string, error) { return E5CubePrefix(13) },
-		func() (string, error) { return E8Sort(6) },
-		func() (string, error) { return E9E10CubeSortAndOverhead(6) },
-		E11Compare,
-		func() (string, error) { return E12Large(3, []int{1, 4, 16, 64}) },
-		func() (string, error) { return E13Collectives(7) },
-		func() (string, error) { return E14LinkLoads(5) },
-		func() (string, error) { return E16Emulation(5) },
-		func() (string, error) { return E17SampleSort(5, 16) },
-		func() (string, error) { return E18FaultSweep(4, 6, 2008) },
-		func() (string, error) { return E19FaultTolerance(6, 20, 2008) },
-	} {
-		s, err := f()
-		if err != nil {
-			return sb.String(), err
-		}
-		sb.WriteString(s)
-		sb.WriteString("\n")
-	}
-	return sb.String(), nil
-}
+// All (the `dcbench` no-flag run) lives in registry.go beside the
+// experiment registry it walks.

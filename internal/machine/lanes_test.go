@@ -1,0 +1,36 @@
+package machine
+
+import "testing"
+
+// TestLanesRows pins the plane geometry: full-width rows, per-node
+// disjointness within a parity, arena alternation across parities, and a
+// capped capacity so an append can never bleed into the neighbor row.
+func TestLanesRows(t *testing.T) {
+	const n, k = 8, 4
+	ln := NewLanes[int](n, k)
+	if ln.Width() != k {
+		t.Fatalf("Width() = %d, want %d", ln.Width(), k)
+	}
+	for u := 0; u < n; u++ {
+		even, odd := ln.Row(0, u), ln.Row(1, u)
+		if len(even) != k || cap(even) != k || len(odd) != k || cap(odd) != k {
+			t.Fatalf("node %d: rows %d/%d cap %d/%d, want %d", u, len(even), len(odd), cap(even), cap(odd), k)
+		}
+		for l := 0; l < k; l++ {
+			even[l] = 100*u + l
+			odd[l] = -(100*u + l) - 1
+		}
+	}
+	// Same parity at a later step aliases the same arena; the opposite
+	// parity must be untouched.
+	for u := 0; u < n; u++ {
+		for l := 0; l < k; l++ {
+			if got := ln.Row(2, u)[l]; got != 100*u+l {
+				t.Fatalf("even arena node %d lane %d: %d", u, l, got)
+			}
+			if got := ln.Row(3, u)[l]; got != -(100*u+l)-1 {
+				t.Fatalf("odd arena node %d lane %d: %d", u, l, got)
+			}
+		}
+	}
+}

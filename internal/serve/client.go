@@ -1,0 +1,35 @@
+package serve
+
+// Client is the in-process face of a Server: typed helpers over Submit
+// with the same coalescing, admission control and error taxonomy as the
+// HTTP path (ErrSaturated under backpressure, ErrUnavailable with no
+// eligible shard). Any number of goroutines may share one Client; that is
+// exactly the traffic the batcher coalesces.
+type Client struct {
+	s *Server
+}
+
+// NewClient returns an in-process client for s.
+func NewClient(s *Server) *Client { return &Client{s: s} }
+
+// Prefix computes all prefix sums of in on D_n.
+func (c *Client) Prefix(n int, in []int64) (*Response, error) {
+	return c.s.Submit(&Request{Op: OpPrefix, N: n, Data: in})
+}
+
+// AllReduce combines in element order on D_n; Response.Data holds the one
+// total.
+func (c *Client) AllReduce(n int, in []int64) (*Response, error) {
+	return c.s.Submit(&Request{Op: OpAllReduce, N: n, Data: in})
+}
+
+// Sort sorts keys on D_n, descending when desc.
+func (c *Client) Sort(n int, keys []int64, desc bool) (*Response, error) {
+	return c.s.Submit(&Request{Op: OpSort, N: n, Data: keys, Desc: desc})
+}
+
+// Broadcast floods value from root on D_n; Response.Data holds the one
+// delivered value.
+func (c *Client) Broadcast(n, root int, value int64) (*Response, error) {
+	return c.s.Submit(&Request{Op: OpBroadcast, N: n, Root: root, Value: value})
+}

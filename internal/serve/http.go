@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// HTTP front door, stdlib only. Routes:
+//
+//	POST /v1/{prefix|allreduce|sort|broadcast}  body: Request JSON (op from path)
+//	GET  /metrics                               Prometheus text exposition
+//	GET  /healthz                               200 while any shard serves each order
+//	POST /admin/shard                           degrade/down/restore a shard
+//
+// Error mapping: malformed requests 400, admission-control rejection 429
+// with Retry-After, no eligible shard 503, server closed 503.
+
+// Handler returns the HTTP handler serving s.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		serveOp(s, w, r)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, s.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Healthy() {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "no shard in rotation for at least one order", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/admin/shard", func(w http.ResponseWriter, r *http.Request) {
+		adminShard(s, w, r)
+	})
+	return mux
+}
+
+func serveOp(s *Server, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	op, err := ParseOp(strings.TrimPrefix(r.URL.Path, "/v1/"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Op = op // the path is authoritative
+	resp, err := s.Submit(&req)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// writeSubmitError maps the serve error taxonomy onto HTTP status codes.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		// Backpressure: tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrUnavailable), errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// adminShard handles POST /admin/shard?n=5&shard=0&action=degrade&faults=2&seed=1.
+func adminShard(s *Server, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	n, err1 := strconv.Atoi(q.Get("n"))
+	idx, err2 := strconv.Atoi(q.Get("shard"))
+	if err1 != nil || err2 != nil {
+		http.Error(w, "n and shard must be integers", http.StatusBadRequest)
+		return
+	}
+	var err error
+	switch action := q.Get("action"); action {
+	case "degrade":
+		f := 1
+		if v := q.Get("faults"); v != "" {
+			if f, err = strconv.Atoi(v); err != nil {
+				http.Error(w, "faults must be an integer", http.StatusBadRequest)
+				return
+			}
+		}
+		var seed int64 = 1
+		if v := q.Get("seed"); v != "" {
+			if seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+				http.Error(w, "seed must be an integer", http.StatusBadRequest)
+				return
+			}
+		}
+		err = s.DegradeShard(n, idx, f, seed)
+	case "down":
+		err = s.DownShard(n, idx)
+	case "restore":
+		err = s.RestoreShard(n, idx)
+	default:
+		http.Error(w, "action must be degrade, down or restore", http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	states, _ := s.ShardStates(n)
+	fmt.Fprintf(w, "shards[%d]: %s\n", n, strings.Join(states, " "))
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Load generator for experiment E23: closed-loop clients hammer one
+// (op, order) line of an in-process Server and we record sustained
+// requests/sec with p50/p99 latency per max-batch setting. Sweeping
+// MaxBatch (k=1 disables coalescing) isolates the batching win: the same
+// request stream, the same kernels, only the lane width changes.
+
+// LoadConfig describes one load-generation run.
+type LoadConfig struct {
+	Op       Op
+	N        int           // dual-cube order
+	Clients  int           // concurrent closed-loop clients
+	Duration time.Duration // measurement window
+	MaxBatch int           // server's coalescing ceiling for this run
+	Window   time.Duration // server's batch window (0: default)
+	Seed     int64         // payload generation seed
+	Verify   bool          // check every response against the expected result
+}
+
+// LoadPoint is one measured load-generation run, the JSON row E23 records.
+type LoadPoint struct {
+	Exp       string  `json:"exp"`
+	Op        string  `json:"op"`
+	N         int     `json:"n"`
+	Clients   int     `json:"clients"`
+	MaxBatch  int     `json:"max_batch"`
+	Requests  int     `json:"requests"`
+	Rejected  int     `json:"rejected"`
+	Seconds   float64 `json:"seconds"`
+	RPS       float64 `json:"rps"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// RunLoad builds a Server sized by cfg, drives it with cfg.Clients
+// closed-loop clients for cfg.Duration, and reports the measured point.
+// Each client verifies its own responses when cfg.Verify is set, so a
+// throughput number can never come from wrong answers.
+func RunLoad(cfg LoadConfig) (*LoadPoint, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 2 * cfg.MaxBatch
+		if cfg.Clients < 4 {
+			cfg.Clients = 4
+		}
+	}
+	s, err := New(Config{
+		Orders:   []int{cfg.N},
+		MaxBatch: cfg.MaxBatch,
+		Window:   cfg.Window,
+		// Closed-loop clients bound the queue occupancy by themselves;
+		// size admission so backpressure does not distort the measurement.
+		QueueCap: 2*cfg.Clients + 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	nodes := s.pools[cfg.N].d.Nodes()
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		requests  int
+		rejected  int
+		batchSum  int
+		verifyErr error
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			in := make([]int64, nodes)
+			var localLat []time.Duration
+			var localReq, localRej, localBatch int
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					latencies = append(latencies, localLat...)
+					requests += localReq
+					rejected += localRej
+					batchSum += localBatch
+					mu.Unlock()
+					return
+				default:
+				}
+				for i := range in {
+					in[i] = int64(rng.Intn(1 << 16))
+				}
+				req := makeLoadRequest(cfg, id, in)
+				t0 := time.Now()
+				resp, err := s.Submit(req)
+				if err == ErrSaturated {
+					localRej++
+					continue
+				}
+				if err != nil {
+					mu.Lock()
+					if verifyErr == nil {
+						verifyErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				localLat = append(localLat, time.Since(t0))
+				localReq++
+				localBatch += resp.Batch
+				if cfg.Verify {
+					if err := verifyLoadResponse(cfg, req, resp); err != nil {
+						mu.Lock()
+						if verifyErr == nil {
+							verifyErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if verifyErr != nil {
+		return nil, verifyErr
+	}
+	if requests == 0 {
+		return nil, fmt.Errorf("serve: load run completed zero requests")
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(latencies)-1))
+		return float64(latencies[i].Microseconds())
+	}
+	return &LoadPoint{
+		Exp:       "E23",
+		Op:        cfg.Op.String(),
+		N:         cfg.N,
+		Clients:   cfg.Clients,
+		MaxBatch:  cfg.MaxBatch,
+		Requests:  requests,
+		Rejected:  rejected,
+		Seconds:   elapsed,
+		RPS:       float64(requests) / elapsed,
+		P50Micros: pct(0.50),
+		P99Micros: pct(0.99),
+		MeanBatch: float64(batchSum) / float64(requests),
+	}, nil
+}
+
+func makeLoadRequest(cfg LoadConfig, id int, in []int64) *Request {
+	req := &Request{Op: cfg.Op, N: cfg.N}
+	switch cfg.Op {
+	case OpBroadcast:
+		// One shared root so the whole stream coalesces.
+		req.Root = 0
+		req.Value = in[0]
+	case OpSort:
+		req.Data = append([]int64(nil), in...)
+		req.Desc = id%2 == 1 // mixed directions batch together
+	default:
+		req.Data = append([]int64(nil), in...)
+	}
+	return req
+}
+
+// verifyLoadResponse recomputes the expected answer sequentially and
+// compares; the payloads are small enough that this stays off the
+// measurement's critical path only when Verify is off, which is why the
+// sweep verifies at low duty and measures with Verify off.
+func verifyLoadResponse(cfg LoadConfig, req *Request, resp *Response) error {
+	switch cfg.Op {
+	case OpPrefix:
+		var sum int64
+		for i, v := range req.Data {
+			sum += v
+			if resp.Data[i] != sum {
+				return fmt.Errorf("serve: prefix mismatch at %d: got %d want %d", i, resp.Data[i], sum)
+			}
+		}
+	case OpAllReduce:
+		var sum int64
+		for _, v := range req.Data {
+			sum += v
+		}
+		if resp.Data[0] != sum {
+			return fmt.Errorf("serve: allreduce mismatch: got %d want %d", resp.Data[0], sum)
+		}
+	case OpSort:
+		want := append([]int64(nil), req.Data...)
+		sort.Slice(want, func(i, j int) bool {
+			if req.Desc {
+				return want[i] > want[j]
+			}
+			return want[i] < want[j]
+		})
+		for i := range want {
+			if resp.Data[i] != want[i] {
+				return fmt.Errorf("serve: sort mismatch at %d: got %d want %d", i, resp.Data[i], want[i])
+			}
+		}
+	case OpBroadcast:
+		if resp.Data[0] != req.Value {
+			return fmt.Errorf("serve: broadcast mismatch: got %d want %d", resp.Data[0], req.Value)
+		}
+	}
+	return nil
+}
+
+// SweepBatch runs RunLoad at each max-batch width and returns the points
+// in order — the E23 experiment body. The k=1 point is the unbatched
+// baseline every other point's speedup is measured against.
+func SweepBatch(base LoadConfig, widths []int) ([]*LoadPoint, error) {
+	points := make([]*LoadPoint, 0, len(widths))
+	for _, k := range widths {
+		cfg := base
+		cfg.MaxBatch = k
+		pt, err := RunLoad(cfg)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

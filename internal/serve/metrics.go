@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Serving observability, stdlib-only: per-op latency histograms with
+// interpolated p50/p99, batch-occupancy histograms, queue-depth gauges and
+// admission counters, rendered in the Prometheus text exposition format so
+// any scraper (or curl) can read /metrics.
+
+// latencyHist is a log2-bucketed microsecond histogram: bucket i counts
+// observations in [2^i, 2^(i+1)) µs. 32 buckets span sub-µs to ~1.2 hours.
+type latencyHist struct {
+	mu      sync.Mutex
+	buckets [32]uint64
+	count   uint64
+	sumUS   uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	b := 0
+	if us > 0 {
+		b = bits.Len64(us) - 1
+		if b >= len(h.buckets) {
+			b = len(h.buckets) - 1
+		}
+	}
+	h.mu.Lock()
+	h.buckets[b]++
+	h.count++
+	h.sumUS += us
+	h.mu.Unlock()
+}
+
+// quantile interpolates the q-quantile (0..1) in microseconds from the
+// bucket counts; 0 when the histogram is empty.
+func (h *latencyHist) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var seen float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if seen+fc >= rank {
+			lo := math.Exp2(float64(i))
+			if i == 0 {
+				lo = 0
+			}
+			hi := math.Exp2(float64(i + 1))
+			frac := (rank - seen) / fc
+			return lo + frac*(hi-lo)
+		}
+		seen += fc
+	}
+	return math.Exp2(float64(len(h.buckets)))
+}
+
+func (h *latencyHist) snapshot() (count, sumUS uint64, buckets [32]uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sumUS, h.buckets
+}
+
+// occupancyHist counts batch sizes 1..max linearly — the lane occupancy of
+// every pass, the direct measure of how well coalescing is working.
+type occupancyHist struct {
+	mu      sync.Mutex
+	buckets []uint64 // buckets[i] counts passes of occupancy i+1
+	count   uint64
+	sum     uint64
+}
+
+func newOccupancyHist(max int) *occupancyHist {
+	return &occupancyHist{buckets: make([]uint64, max)}
+}
+
+func (h *occupancyHist) observe(k int) {
+	h.mu.Lock()
+	if k >= 1 && k <= len(h.buckets) {
+		h.buckets[k-1]++
+	}
+	h.count++
+	h.sum += uint64(k)
+	h.mu.Unlock()
+}
+
+func (h *occupancyHist) snapshot() (count, sum uint64, buckets []uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, append([]uint64(nil), h.buckets...)
+}
+
+// opMetrics aggregates one operation's serving counters.
+type opMetrics struct {
+	latency   latencyHist
+	occupancy *occupancyHist
+	rejected  atomic.Uint64
+	errors    atomic.Uint64
+}
+
+func (m *opMetrics) observe(d time.Duration) { m.latency.observe(d) }
+
+type metrics struct {
+	ops [opCount]*opMetrics
+}
+
+func newMetrics(maxBatch int) *metrics {
+	m := &metrics{}
+	for op := range m.ops {
+		m.ops[op] = &opMetrics{occupancy: newOccupancyHist(maxBatch)}
+	}
+	return m
+}
+
+func (m *metrics) op(op Op) *opMetrics { return m.ops[op] }
+
+// render writes the whole metrics page. The server is passed in for the
+// queue-depth and shard-state gauges, which live outside the counters.
+func (m *metrics) render(s *Server) string {
+	var b strings.Builder
+
+	b.WriteString("# HELP dcserve_requests_total Requests served, by operation.\n")
+	b.WriteString("# TYPE dcserve_requests_total counter\n")
+	for op := OpPrefix; op < opCount; op++ {
+		count, _, _ := m.op(op).latency.snapshot()
+		fmt.Fprintf(&b, "dcserve_requests_total{op=%q} %d\n", op, count)
+	}
+
+	b.WriteString("# HELP dcserve_rejected_total Requests rejected by admission control (queue full).\n")
+	b.WriteString("# TYPE dcserve_rejected_total counter\n")
+	for op := OpPrefix; op < opCount; op++ {
+		fmt.Fprintf(&b, "dcserve_rejected_total{op=%q} %d\n", op, m.op(op).rejected.Load())
+	}
+
+	b.WriteString("# HELP dcserve_errors_total Requests failed after admission.\n")
+	b.WriteString("# TYPE dcserve_errors_total counter\n")
+	for op := OpPrefix; op < opCount; op++ {
+		fmt.Fprintf(&b, "dcserve_errors_total{op=%q} %d\n", op, m.op(op).errors.Load())
+	}
+
+	b.WriteString("# HELP dcserve_latency_us Request latency histogram, log2 buckets in microseconds.\n")
+	b.WriteString("# TYPE dcserve_latency_us histogram\n")
+	for op := OpPrefix; op < opCount; op++ {
+		count, sumUS, buckets := m.op(op).latency.snapshot()
+		var cum uint64
+		for i, c := range buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			fmt.Fprintf(&b, "dcserve_latency_us_bucket{op=%q,le=\"%.0f\"} %d\n", op, math.Exp2(float64(i+1)), cum)
+		}
+		fmt.Fprintf(&b, "dcserve_latency_us_bucket{op=%q,le=\"+Inf\"} %d\n", op, count)
+		fmt.Fprintf(&b, "dcserve_latency_us_sum{op=%q} %d\n", op, sumUS)
+		fmt.Fprintf(&b, "dcserve_latency_us_count{op=%q} %d\n", op, count)
+	}
+
+	b.WriteString("# HELP dcserve_latency_us_quantile Interpolated latency quantiles in microseconds.\n")
+	b.WriteString("# TYPE dcserve_latency_us_quantile gauge\n")
+	for op := OpPrefix; op < opCount; op++ {
+		h := &m.op(op).latency
+		fmt.Fprintf(&b, "dcserve_latency_us_quantile{op=%q,q=\"0.5\"} %.1f\n", op, h.quantile(0.5))
+		fmt.Fprintf(&b, "dcserve_latency_us_quantile{op=%q,q=\"0.99\"} %.1f\n", op, h.quantile(0.99))
+	}
+
+	b.WriteString("# HELP dcserve_batch_occupancy Lanes coalesced per kernel pass.\n")
+	b.WriteString("# TYPE dcserve_batch_occupancy histogram\n")
+	for op := OpPrefix; op < opCount; op++ {
+		count, sum, buckets := m.op(op).occupancy.snapshot()
+		var cum uint64
+		for i, c := range buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			fmt.Fprintf(&b, "dcserve_batch_occupancy_bucket{op=%q,le=\"%d\"} %d\n", op, i+1, cum)
+		}
+		fmt.Fprintf(&b, "dcserve_batch_occupancy_bucket{op=%q,le=\"+Inf\"} %d\n", op, count)
+		fmt.Fprintf(&b, "dcserve_batch_occupancy_sum{op=%q} %d\n", op, sum)
+		fmt.Fprintf(&b, "dcserve_batch_occupancy_count{op=%q} %d\n", op, count)
+	}
+
+	b.WriteString("# HELP dcserve_queue_depth Pending requests queued per (op, order) line.\n")
+	b.WriteString("# TYPE dcserve_queue_depth gauge\n")
+	keys := make([]lineKey, 0, len(s.lines))
+	for k := range s.lines {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].n != keys[j].n {
+			return keys[i].n < keys[j].n
+		}
+		return keys[i].op < keys[j].op
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "dcserve_queue_depth{op=%q,n=\"%d\"} %d\n", k.op, k.n, len(s.lines[k].ch))
+	}
+
+	b.WriteString("# HELP dcserve_shard_state Shard rotation state (0 up, 1 degraded, 2 down).\n")
+	b.WriteString("# TYPE dcserve_shard_state gauge\n")
+	for _, n := range s.cfg.Orders {
+		states, _ := s.ShardStates(n)
+		for i, st := range states {
+			v := map[string]int{"up": 0, "degraded": 1, "down": 2}[st]
+			fmt.Fprintf(&b, "dcserve_shard_state{n=\"%d\",shard=\"%d\"} %d\n", n, i, v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package dualcube
+
+import (
+	"net/http"
+
+	"dualcube/internal/serve"
+)
+
+// This file is the library facade over the batched serving front-end
+// (internal/serve, daemonized by cmd/dcserve): a Server owns warmed
+// runtime shards per order and coalesces compatible concurrent prefix /
+// allreduce / sort / broadcast requests into single lane-batched kernel
+// passes, with bounded-queue admission control, graceful shard degradation
+// onto fault-rewritten schedules, and /metrics observability.
+
+// ServeConfig sizes a serving front-end; the zero value serves D_4..D_6
+// with one shard per order, max batch 32 and a 200µs window.
+type ServeConfig = serve.Config
+
+// ServeRequest is one serving request (see the Op constants in
+// internal/serve; the HTTP path form is /v1/{prefix,allreduce,sort,broadcast}).
+type ServeRequest = serve.Request
+
+// ServeResponse is a demultiplexed result, annotated with the pass's lane
+// occupancy and the shard that ran it.
+type ServeResponse = serve.Response
+
+// ServeClient is the typed in-process client of a serving front-end.
+type ServeClient = serve.Client
+
+// NewServer builds a serving front-end: every configured order's topology
+// and schedules are warmed and the coalescing dispatchers started. Close
+// it when done.
+func NewServer(cfg ServeConfig) (*serve.Server, error) { return serve.New(cfg) }
+
+// NewServeClient returns the typed in-process client for s.
+func NewServeClient(s *serve.Server) *ServeClient { return serve.NewClient(s) }
+
+// ServeHandler returns the HTTP handler of the serving front-end — the
+// same routes cmd/dcserve exposes.
+func ServeHandler(s *serve.Server) http.Handler { return serve.Handler(s) }
