@@ -84,6 +84,78 @@ func TestDirectPrefixAllocGuard(t *testing.T) {
 	t.Logf("direct D_prefix on warm D_%d runtime: %.0f allocs/op (budget %d)", n, allocs, budget)
 }
 
+// TestZCubeDirectPrefixAllocGuard is TestDirectPrefixAllocGuard on the
+// Z-cube family: topology generality must be free in the steady state. The
+// Z_6 schedule delegates to the embedded D_6 skeleton and comes out of the
+// topology-keyed cache, so a warm direct prefix run must stay within the
+// same 16 allocs/op budget as the dual-cube — any per-node or per-step
+// regression in the generic routing (2048 nodes x 12 steps) fails loudly.
+func TestZCubeDirectPrefixAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	const n = 6
+	const budget = 16
+	rt, err := NewRuntimeOn("zcube", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Warm()
+	in := make([]int, rt.Nodes())
+	for i := range in {
+		in[i] = i*2654435761 + 1
+	}
+	SetSimScheduler(SchedulerDirect)
+	defer SetSimScheduler(SchedulerDefault)
+	if _, _, err := PrefixOn(rt, in); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := PrefixOn(rt, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("direct D_prefix on warm Z_%d runtime: %.0f allocs/op, budget %d", n, allocs, budget)
+	}
+	t.Logf("direct D_prefix on warm Z_%d runtime: %.0f allocs/op (budget %d)", n, allocs, budget)
+}
+
+// TestZCubeDirectAllReduceAllocGuard pins the direct executor's all-reduce
+// on a warm Z_6 Runtime to the same 16 allocs/op ceiling: the collective
+// layer's generic (topology.Comm) route must add no steady-state allocation
+// over the dual-cube path.
+func TestZCubeDirectAllReduceAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	const n = 6
+	const budget = 16
+	rt, err := NewRuntimeOn("zcube", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Warm()
+	in := make([]int, rt.Nodes())
+	for i := range in {
+		in[i] = i*2654435761 + 1
+	}
+	SetSimScheduler(SchedulerDirect)
+	defer SetSimScheduler(SchedulerDefault)
+	if _, _, err := AllReduceSumOn(rt, in); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := AllReduceSumOn(rt, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("direct all-reduce on warm Z_%d runtime: %.0f allocs/op, budget %d", n, allocs, budget)
+	}
+	t.Logf("direct all-reduce on warm Z_%d runtime: %.0f allocs/op (budget %d)", n, allocs, budget)
+}
+
 // TestDirectSortAllocGuard is TestDirectPrefixAllocGuard for the sort
 // family: D_sort on a warm D_6 Runtime through SchedulerDirect. The warm
 // direct path allocates the run's flat payload/role arrays, the kernel and

@@ -55,7 +55,9 @@ func main() {
 	}
 	if *faulttol {
 		ran = true
-		fmt.Print("D_n has degree n and link connectivity n: any n-1 link faults leave it connected,\nand cutting all n links of a single node shows the bound is tight.\n\n")
+		fmt.Print("Maximum tolerable link faults per topology, derived from each family's\ngeneralized connectivity figures (λ-1 faults provably leave the network\nconnected); the source of every bound is cited below its table.\n\n")
+		printTable(experiments.E20TopologyFaultTolerance(6, 20, 2008))
+		fmt.Println()
 		printTable(experiments.E19FaultTolerance(6, 20, 2008))
 	}
 	if *recursive {

@@ -13,6 +13,11 @@ import (
 // Three probes per input: sum prefix (fault-free or degraded under the
 // plan), a non-commutative mixing combine (order mistakes that a sum
 // conceals change the result), and the all-reduce collective.
+//
+// The fault-free probes then sweep every topology family: per family the
+// direct executor must reproduce the interpreter, and the hypercube and
+// Z-cube runs must reproduce the dual-cube run bit-for-bit — outputs and
+// Stats — since their schedules execute over the embedded D_n skeleton.
 func FuzzDirectVsInterpret(f *testing.F) {
 	f.Add(int64(1), uint8(2), uint8(0))
 	f.Add(int64(2), uint8(3), uint8(1))
@@ -81,6 +86,61 @@ func FuzzDirectVsInterpret(f *testing.F) {
 			}
 			if !reflect.DeepEqual(directOut, poolOut) {
 				t.Errorf("%s: outputs diverge between direct executor and interpreter", p.name)
+			}
+		}
+
+		type result struct {
+			out any
+			st  Stats
+		}
+		oracle := make(map[string]result)
+		for _, fam := range Families() {
+			rt, err := NewRuntimeOn(fam, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			famProbes := []probe{
+				{"prefix", func() (any, Stats, error) {
+					out, st, err := PrefixOn(rt, in)
+					return out, st, err
+				}},
+				{"prefix-noncommutative", func() (any, Stats, error) {
+					out, st, err := PrefixFuncOn(rt, in, func() int { return 0 }, mix, true)
+					return out, st, err
+				}},
+				{"allreduce", func() (any, Stats, error) {
+					out, st, err := AllReduceSumOn(rt, in)
+					return out, st, err
+				}},
+			}
+			for _, p := range famProbes {
+				SetSimScheduler(SchedulerDirect)
+				directOut, directStats, directErr := p.run()
+				if directErr != nil {
+					t.Fatalf("%s/%s: direct: %v", fam, p.name, directErr)
+				}
+				SetSimScheduler(SchedulerWorkerPool)
+				poolOut, poolStats, poolErr := p.run()
+				if poolErr != nil {
+					t.Fatalf("%s/%s: pool: %v", fam, p.name, poolErr)
+				}
+				if directStats != poolStats {
+					t.Errorf("%s/%s: stats diverge\n  direct: %+v\n  pool:   %+v", fam, p.name, directStats, poolStats)
+				}
+				if !reflect.DeepEqual(directOut, poolOut) {
+					t.Errorf("%s/%s: outputs diverge between direct executor and interpreter", fam, p.name)
+				}
+				if fam == "dualcube" {
+					oracle[p.name] = result{directOut, directStats}
+					continue
+				}
+				ref := oracle[p.name]
+				if directStats != ref.st {
+					t.Errorf("%s/%s: stats diverge from the dual-cube oracle\n  dualcube: %+v\n  %s: %+v", fam, p.name, ref.st, fam, directStats)
+				}
+				if !reflect.DeepEqual(directOut, ref.out) {
+					t.Errorf("%s/%s: outputs diverge from the dual-cube oracle", fam, p.name)
+				}
 			}
 		}
 	})

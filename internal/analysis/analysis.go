@@ -9,6 +9,7 @@ import (
 	"dualcube/internal/analysis/driver"
 	"dualcube/internal/analysis/faultpure"
 	"dualcube/internal/analysis/nodebody"
+	"dualcube/internal/analysis/schedtopo"
 	"dualcube/internal/analysis/statsadd"
 )
 
@@ -18,6 +19,7 @@ func All() []*driver.Analyzer {
 		abortpanic.Analyzer,
 		faultpure.Analyzer,
 		nodebody.Analyzer,
+		schedtopo.Analyzer,
 		statsadd.Analyzer,
 	}
 }

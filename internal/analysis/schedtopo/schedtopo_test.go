@@ -1,0 +1,13 @@
+package schedtopo_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dualcube/internal/analysis/analysistest"
+	"dualcube/internal/analysis/schedtopo"
+)
+
+func TestSchedTopo(t *testing.T) {
+	analysistest.Run(t, schedtopo.Analyzer, filepath.Join("testdata", "src", "dcomm"))
+}

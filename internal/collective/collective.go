@@ -46,6 +46,13 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
+	return BroadcastOn(d, root, value)
+}
+
+// BroadcastOn is Broadcast over an explicit communication topology: the
+// binomial flood uses only the cluster decomposition, so it runs unchanged
+// on any Comm (dual-cube, odd hypercube, Z-cube).
+func BroadcastOn[T any](d topology.Comm, root topology.NodeID, value T) ([]T, machine.Stats, error) {
 	if root < 0 || root >= d.Nodes() {
 		return nil, machine.Stats{}, fmt.Errorf("collective: root %d out of range", root)
 	}
@@ -83,7 +90,7 @@ func Broadcast[T any](n int, root topology.NodeID, value T) ([]T, machine.Stats,
 // covers root's own cluster again, keeping the schedule uniform) are
 // discarded, and the host verifies every node was reached after the run.
 type broadcastKernel[T any] struct {
-	d           *topology.DualCube
+	d           topology.Comm
 	mdim        int
 	root        topology.NodeID
 	rootClass   int
@@ -171,6 +178,15 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
+	return AllReduceOn(d, in, m)
+}
+
+// AllReduceOn is AllReduce over an explicit communication topology — the
+// double recursive-doubling reduction runs unchanged on any Comm.
+func AllReduceOn[T any](d topology.Comm, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, error) {
+	if err := topology.ValidLen(d, len(in)); err != nil {
+		return nil, machine.Stats{}, err
+	}
 	mdim := d.ClusterDim()
 	sch, err := dcomm.Compiled(d, dcomm.OpAllReduce)
 	if err != nil {
@@ -193,7 +209,7 @@ func AllReduce[T any](n int, in []T, m monoid.Monoid[T]) ([]T, machine.Stats, er
 // the other class's running total; the received grand total of this node's
 // own class parks in out until the final class-order combine.
 type allReduceKernel[T any] struct {
-	d    *topology.DualCube
+	d    topology.Comm
 	m    monoid.Monoid[T]
 	mdim int
 	in   []T
@@ -275,13 +291,24 @@ func Reduce[T any](n int, root topology.NodeID, in []T, m monoid.Monoid[T]) (T, 
 func Barrier(n int) (machine.Stats, error) {
 	N := nodesOf(n)
 	in := make([]struct{}, N)
-	unit := monoid.Monoid[struct{}]{
+	_, st, err := AllReduce(n, in, unitMonoid())
+	return st, err
+}
+
+// BarrierOn is Barrier over an explicit communication topology.
+func BarrierOn(c topology.Comm) (machine.Stats, error) {
+	in := make([]struct{}, c.Nodes())
+	_, st, err := AllReduceOn(c, in, unitMonoid())
+	return st, err
+}
+
+// unitMonoid is the trivial monoid Barrier reduces with.
+func unitMonoid() monoid.Monoid[struct{}] {
+	return monoid.Monoid[struct{}]{
 		Name:     "unit",
 		Identity: func() struct{} { return struct{}{} },
 		Combine:  func(a, b struct{}) struct{} { return struct{}{} },
 	}
-	_, st, err := AllReduce(n, in, unit)
-	return st, err
 }
 
 // nodesOf returns 2^(2n-1) without constructing the topology (callers

@@ -12,13 +12,13 @@ import (
 
 // ClusterExchange performs the bidirectional exchange with this node's
 // neighbor along cluster dimension i (0 <= i < n-1). One clock cycle.
-func ClusterExchange[T any](c *machine.Ctx[T], d *topology.DualCube, i int, v T) T {
+func ClusterExchange[T any](c *machine.Ctx[T], d topology.Comm, i int, v T) T {
 	return c.Exchange(d.ClusterNeighbor(c.ID(), i), v)
 }
 
 // CrossExchange performs the bidirectional exchange over this node's
 // cross-edge. One clock cycle.
-func CrossExchange[T any](c *machine.Ctx[T], d *topology.DualCube, v T) T {
+func CrossExchange[T any](c *machine.Ctx[T], d topology.Comm, v T) T {
 	return c.Exchange(d.CrossNeighbor(c.ID()), v)
 }
 
@@ -41,6 +41,6 @@ func CyclesForDim(j int) int {
 // compiled to StepRecDim steps, and this alias remains for the algorithms
 // that still drive engines directly (DSortLarge's merge-split rounds and
 // the fault-tolerant DimExchangeFT fallback path).
-func DimExchange[T any](c *machine.Ctx[T], d *topology.DualCube, j int, v T) T {
+func DimExchange[T any](c *machine.Ctx[T], d topology.Recursive, j int, v T) T {
 	return machine.RecDimExchange(c, d, j, v)
 }

@@ -106,7 +106,7 @@ func (p *FTPlan) finish() {
 //   - a direct pair that survives but whose mismatched pair is broken
 //     exchanges normally and skips relay duty (the mismatched nodes are
 //     idling, so no foreign value arrives on the cross-edge).
-func PlanDimExchangeFT(d *topology.DualCube, view *fault.View, j int) (*FTPlan, error) {
+func PlanDimExchangeFT(d topology.Recursive, view *fault.View, j int) (*FTPlan, error) {
 	if view.Clean() {
 		return nil, nil
 	}
@@ -154,7 +154,7 @@ func PlanDimExchangeFT(d *topology.DualCube, view *fault.View, j int) (*FTPlan, 
 
 // DimExchangeFT is DimExchange surviving the faults planned in p (from
 // PlanDimExchangeFT with the same d and j).
-func DimExchangeFT[T any](c *machine.Ctx[T], d *topology.DualCube, j int, v T, p *FTPlan) T {
+func DimExchangeFT[T any](c *machine.Ctx[T], d topology.Recursive, j int, v T, p *FTPlan) T {
 	if p == nil {
 		return DimExchange(c, d, j, v)
 	}

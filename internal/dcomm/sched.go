@@ -3,7 +3,7 @@ package dcomm
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
+	"sync"
 
 	"dualcube/internal/fault"
 	"dualcube/internal/machine"
@@ -74,51 +74,79 @@ func (op Op) String() string {
 	}
 }
 
-// schedCache holds the compiled fault-free schedule per (order, operation).
-// Schedules are immutable and tiny (one Step per communication round), so
-// they are built at most once per process and shared by every run;
-// first-store-wins keeps the pointer stable under concurrent warm-up.
-var schedCache [topology.MaxDualCubeOrder + 1][opCount]atomic.Pointer[machine.Schedule]
+// schedKey identifies one compiled schedule: a topology family at a
+// dual-cube order, and an operation. Keying by (family, order) instead of a
+// concrete topology pointer lets every Comm implementation share the cache
+// machinery, and the small struct key makes the lookup allocation-free.
+type schedKey struct {
+	family string
+	order  int
+	op     Op
+}
 
-// Compiled returns the cached fault-free schedule of op on d, building it on
-// first use. The returned Schedule is shared and must not be mutated; use
+// schedCache holds the compiled fault-free schedule per (topology, op).
+// Schedules are immutable and tiny (one Step per communication round), so
+// they are built at most once per process and shared by every run. A plain
+// map behind an RWMutex (rather than sync.Map) keeps the hot-path read
+// allocation-free: sync.Map would box the struct key on every Load, which
+// the ≤16 allocs/op direct-executor guards cannot afford.
+var (
+	schedMu    sync.RWMutex
+	schedCache = make(map[schedKey]*machine.Schedule)
+)
+
+// Compiled returns the cached fault-free schedule of op on c, building it on
+// first use. Any Comm family works — dual-cube, odd-dimensional hypercube,
+// Z-cube — and each (family, order, op) cell is compiled at most once, with
+// first-store-wins keeping the published pointer stable under concurrent
+// warm-up. The returned Schedule is shared and must not be mutated; use
 // RewriteFT to derive a fault-annotated variant. An error means op names no
-// schedule-compiled operation (a value outside the Op enum); nothing is
-// cached in that case.
-func Compiled(d *topology.DualCube, op Op) (*machine.Schedule, error) {
+// schedule-compiled operation (a value outside the Op enum) or the topology
+// lacks the structure op needs; nothing is cached in that case.
+func Compiled(c topology.Comm, op Op) (*machine.Schedule, error) {
 	if op >= opCount {
 		return nil, fmt.Errorf("dcomm: no schedule builder for %s", op)
 	}
-	slot := &schedCache[d.Order()][op]
-	if sch := slot.Load(); sch != nil {
+	key := schedKey{family: c.Family(), order: c.Order(), op: op}
+	schedMu.RLock()
+	sch := schedCache[key]
+	schedMu.RUnlock()
+	if sch != nil {
 		return sch, nil
 	}
-	sch, err := buildSchedule(d, op)
+	sch, err := buildSchedule(c, op)
 	if err != nil {
 		return nil, err
 	}
-	if slot.CompareAndSwap(nil, sch) {
-		return sch, nil
+	schedMu.Lock()
+	if prior, ok := schedCache[key]; ok {
+		sch = prior // a concurrent build won the race: keep its pointer
+	} else {
+		schedCache[key] = sch
 	}
-	return slot.Load(), nil
+	schedMu.Unlock()
+	return sch, nil
 }
 
 // MustCompiled is Compiled, panicking on error. Intended for tests and
 // examples where op is a literal enum value.
-func MustCompiled(d *topology.DualCube, op Op) *machine.Schedule {
-	sch, err := Compiled(d, op)
+func MustCompiled(c topology.Comm, op Op) *machine.Schedule {
+	sch, err := Compiled(c, op)
 	if err != nil {
 		panic(err)
 	}
 	return sch
 }
 
-// buildSchedule lays out the cluster-technique skeleton of op on d. The
-// pattern id of a step is its cluster dimension, or ClusterDim(d) for the
+// buildSchedule lays out the cluster-technique skeleton of op on c. The
+// pattern id of a step is its cluster dimension, or ClusterDim(c) for the
 // cross matching — steps with equal pattern use the identical matching.
-func buildSchedule(d *topology.DualCube, op Op) (*machine.Schedule, error) {
-	m := d.ClusterDim()
-	sch := &machine.Schedule{Name: fmt.Sprintf("%s/%s", op, d.Name()), D: d}
+// Nothing here is dual-cube-specific: the steps are expressed entirely in
+// the Comm decomposition (cluster dimensions, the cross matching, recursive
+// dimensions), so one builder serves every family.
+func buildSchedule(c topology.Comm, op Op) (*machine.Schedule, error) {
+	m := c.ClusterDim()
+	sch := &machine.Schedule{Name: fmt.Sprintf("%s/%s", op, c.Name()), D: c}
 	cluster := func(dim int) {
 		sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepClusterDim, Dim: dim, Pattern: dim})
 	}
@@ -167,6 +195,9 @@ func buildSchedule(d *topology.DualCube, op Op) (*machine.Schedule, error) {
 		// dims 2l-2..0. Dimension 0 is a plain cross hop; every higher
 		// dimension is a 3-cycle recursive-dimension exchange. Patterns
 		// offset by m so RecDim matchings never collide with the cross hop.
+		if _, ok := c.(topology.Recursive); !ok {
+			return nil, fmt.Errorf("dcomm: %s has no recursive presentation; dsort needs a topology.Recursive", c.Name())
+		}
 		recDim := func(j int) {
 			if j == 0 {
 				cross()
@@ -174,7 +205,7 @@ func buildSchedule(d *topology.DualCube, op Op) (*machine.Schedule, error) {
 			}
 			sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepRecDim, Dim: j, Pattern: m + j})
 		}
-		n := d.Order()
+		n := c.Order()
 		recDim(0)
 		for l := 2; l <= n; l++ {
 			for j := 2*l - 3; j >= 0; j-- {
@@ -191,32 +222,63 @@ func buildSchedule(d *topology.DualCube, op Op) (*machine.Schedule, error) {
 	return sch, nil
 }
 
-// cubeSortCache holds the compiled hypercube bitonic-sort schedule per
-// dimension, mirroring schedCache's first-store-wins discipline.
-var cubeSortCache [topology.MaxHypercubeDim + 1]atomic.Pointer[machine.Schedule]
+// cubeSortCache holds the compiled bitonic-sort schedule per topology,
+// keyed by the topology name (unique per family and size), mirroring
+// schedCache's locking and first-store-wins discipline.
+var (
+	cubeSortMu    sync.RWMutex
+	cubeSortCache = make(map[string]*machine.Schedule)
+)
 
-// CompiledCubeSort returns the cached bitonic-sort schedule on hypercube h:
-// stages k = 1..q, each a descending sweep of StepBitDim exchanges over
-// dimensions k-1..0 — q(q+1)/2 compare-exchange steps. The direction bits
-// live in the sort kernel, not the schedule, so one schedule serves both
-// orders. Q_0 compiles to the empty schedule.
-func CompiledCubeSort(h *topology.Hypercube) *machine.Schedule {
-	slot := &cubeSortCache[h.Dim()]
-	if sch := slot.Load(); sch != nil {
-		return sch
+// CompiledCubeSort returns the cached bitonic-sort schedule on t: stages
+// k = 1..q, each a descending sweep of StepBitDim exchanges over dimensions
+// k-1..0 — q(q+1)/2 compare-exchange steps, q = log2(t.Nodes()). The
+// direction bits live in the sort kernel, not the schedule, so one schedule
+// serves both orders. A single-node network compiles to the empty schedule.
+//
+// Any topology whose bit-dimension matchings are all edges works (the
+// hypercube, of any dimension — even ones included, unlike the Comm
+// surface); the builder verifies every u—u^2^j pair before caching and
+// returns an error for networks such as the dual-cube or Z-cube whose edge
+// set does not contain all bit flips.
+func CompiledCubeSort(t topology.Topology) (*machine.Schedule, error) {
+	name := t.Name()
+	cubeSortMu.RLock()
+	sch := cubeSortCache[name]
+	cubeSortMu.RUnlock()
+	if sch != nil {
+		return sch, nil
 	}
-	q := h.Dim()
-	sch := &machine.Schedule{Name: fmt.Sprintf("cubesort/%s", h.Name()), Topo: h}
+	N := t.Nodes()
+	q := 0
+	for 1<<q < N {
+		q++
+	}
+	if 1<<q != N {
+		return nil, fmt.Errorf("dcomm: cubesort needs a power-of-two node count, %s has %d", name, N)
+	}
+	for j := 0; j < q; j++ {
+		for u := 0; u < N; u++ {
+			if w := u ^ 1<<j; u < w && !t.HasEdge(u, w) {
+				return nil, fmt.Errorf("dcomm: cubesort needs every bit-dimension matching to be links, but %d-%d (dimension %d) is not a link of %s", u, w, j, name)
+			}
+		}
+	}
+	sch = &machine.Schedule{Name: fmt.Sprintf("cubesort/%s", name), Topo: t}
 	for k := 1; k <= q; k++ {
 		for j := k - 1; j >= 0; j-- {
 			sch.Steps = append(sch.Steps, machine.Step{Kind: machine.StepBitDim, Dim: j, Pattern: j})
 		}
 	}
 	sch.Finalize()
-	if slot.CompareAndSwap(nil, sch) {
-		return sch
+	cubeSortMu.Lock()
+	if prior, ok := cubeSortCache[name]; ok {
+		sch = prior
+	} else {
+		cubeSortCache[name] = sch
 	}
-	return slot.Load()
+	cubeSortMu.Unlock()
+	return sch, nil
 }
 
 // RewriteFT derives the degraded-mode variant of a compiled schedule under a
@@ -302,11 +364,14 @@ func anyBroken(broken []bool) bool {
 // of one perfect matching under view: pairs are visited in ascending lower
 // endpoint order and repaired over the deterministic shortest alive path all
 // nodes agree on, sorted by normalized endpoints — the serial repair order
-// every node executes identically.
-func planMatching(d *topology.DualCube, view *fault.View, partner func(u int) int) ([]bool, []Detour, error) {
-	broken := make([]bool, d.Nodes())
+// every node executes identically. The repair paths come from the view's
+// BFS over the full topology, so families with extra links beyond the
+// decomposition (the hypercube's unused dimensions, the Z-cube's foreign
+// links) get correspondingly shorter detours.
+func planMatching(t topology.Topology, view *fault.View, partner func(u int) int) ([]bool, []Detour, error) {
+	broken := make([]bool, t.Nodes())
 	var dets []Detour
-	for u := 0; u < d.Nodes(); u++ {
+	for u := 0; u < t.Nodes(); u++ {
 		w := partner(u)
 		if u < w && view.LinkDown(u, w) {
 			pair := fault.Link{U: u, V: w}.Normalize()

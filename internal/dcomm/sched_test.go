@@ -2,6 +2,7 @@ package dcomm
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"dualcube/internal/machine"
@@ -39,6 +40,93 @@ func TestCompiledAllOps(t *testing.T) {
 		for i := range sch.Steps {
 			if st := &sch.Steps[i]; st.Kind != machine.StepLocalCombine && st.Partners() == nil {
 				t.Errorf("%s step %d not finalized", sch.Name, i)
+			}
+		}
+	}
+}
+
+// TestCompiledTopologyKeyedCache checks the schedule cache is keyed by
+// (family, order, op): every family gets its own entry, and two distinct
+// Comm values of the same family and order share one compiled schedule —
+// the key is structural, not the instance pointer.
+func TestCompiledTopologyKeyedCache(t *testing.T) {
+	byFamily := make(map[string]*machine.Schedule)
+	for _, fam := range topology.Families() {
+		c, err := topology.CommByID(fam, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := Compiled(c, OpPrefix)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		for prev, other := range byFamily {
+			if other == sch {
+				t.Errorf("families %s and %s share a cache entry", prev, fam)
+			}
+		}
+		byFamily[fam] = sch
+	}
+	fresh, err := Compiled(topology.MustZCube(3), OpPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != byFamily["zcube"] {
+		t.Error("a fresh Z_3 instance missed the (zcube, 3, prefix) cache entry")
+	}
+}
+
+// TestCompiledConcurrentWarm hammers the topology-keyed schedule cache from
+// concurrent goroutines warming every (family, order, op) cell; run under
+// -race this proves the cache's lock discipline, and every call for one cell
+// must observe the same compiled schedule pointer.
+func TestCompiledConcurrentWarm(t *testing.T) {
+	type cell struct {
+		fam string
+		n   int
+		op  Op
+	}
+	var cells []cell
+	for _, fam := range topology.Families() {
+		for n := 2; n <= 4; n++ {
+			for op := OpPrefix; op < OpEnd; op++ {
+				cells = append(cells, cell{fam, n, op})
+			}
+		}
+	}
+	const workers = 8
+	got := make([][]*machine.Schedule, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]*machine.Schedule, len(cells))
+			for i, cl := range cells {
+				c, err := topology.CommByID(cl.fam, cl.n)
+				if err != nil {
+					t.Errorf("%s D_%d: %v", cl.fam, cl.n, err)
+					return
+				}
+				sch, err := Compiled(c, cl.op)
+				if err != nil {
+					t.Errorf("%s D_%d %s: %v", cl.fam, cl.n, cl.op, err)
+					return
+				}
+				out[i] = sch
+			}
+			got[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if got[w] == nil || got[0] == nil {
+			continue // a goroutine already reported its failure
+		}
+		for i, cl := range cells {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("%s D_%d %s: goroutines observed distinct schedules %p and %p",
+					cl.fam, cl.n, cl.op, got[0][i], got[w][i])
 			}
 		}
 	}

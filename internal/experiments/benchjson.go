@@ -12,6 +12,7 @@ import (
 	"dualcube/internal/monoid"
 	"dualcube/internal/prefix"
 	"dualcube/internal/sortnet"
+	"dualcube/internal/topology"
 )
 
 // BenchPoint is one measured experiment configuration of the JSON bench
@@ -19,6 +20,7 @@ import (
 // tables, one line per point, suitable for dashboards and CI artifacts.
 type BenchPoint struct {
 	Name        string `json:"name"`          // operation measured
+	Topo        string `json:"topo"`          // topology family the point ran on
 	N           int    `json:"n"`             // dual-cube order
 	Nodes       int    `json:"nodes"`         // 2^(2n-1)
 	Sched       string `json:"sched"`         // backend the point ran on
@@ -38,42 +40,53 @@ type BenchPoint struct {
 // afford, each returning its run Stats.
 var benchWorkloads = []struct {
 	name string
-	ns   []int
+	// topos lists the topology families the workload sweeps; nil means the
+	// operation runs on the dual-cube only.
+	topos []string
+	ns    []int
 	// skip, when non-nil, returns a non-empty reason for cells the sweep
 	// must not run; the sweep emits the cell with Skip set instead.
 	skip func(n int) string
-	run  func(n int) (machine.Stats, error)
+	run  func(topo string, n int) (machine.Stats, error)
 }{
-	{"prefix", []int{4, 5, 6}, nil, func(n int) (machine.Stats, error) {
+	{"prefix", topology.Families(), []int{4, 5, 6}, nil, func(topo string, n int) (machine.Stats, error) {
+		c, err := topology.CommByID(topo, n)
+		if err != nil {
+			return machine.Stats{}, err
+		}
 		in := randInts(int64(n), 1<<(2*n-1), -1000, 1000)
-		_, st, err := prefix.DPrefix(n, in, monoid.Sum[int](), true, nil)
+		_, st, err := prefix.DPrefixOn(c, in, monoid.Sum[int](), true, nil)
 		return st, err
 	}},
-	{"sort", []int{3, 4, 5, 6}, nil, func(n int) (machine.Stats, error) {
+	{"sort", nil, []int{3, 4, 5, 6}, nil, func(topo string, n int) (machine.Stats, error) {
 		in := randInts(int64(n)+7, 1<<(2*n-1), -1000, 1000)
 		_, st, err := sortnet.DSort(n, in, func(a, b int) bool { return a < b }, sortnet.Ascending, nil)
 		return st, err
 	}},
-	{"broadcast", []int{4, 6}, nil, func(n int) (machine.Stats, error) {
+	{"broadcast", nil, []int{4, 6}, nil, func(topo string, n int) (machine.Stats, error) {
 		_, st, err := collective.Broadcast(n, 3, 42)
 		return st, err
 	}},
-	{"allreduce", []int{4, 6}, nil, func(n int) (machine.Stats, error) {
+	{"allreduce", topology.Families(), []int{4, 5, 6}, nil, func(topo string, n int) (machine.Stats, error) {
+		c, err := topology.CommByID(topo, n)
+		if err != nil {
+			return machine.Stats{}, err
+		}
 		in := randInts(int64(n)+13, 1<<(2*n-1), -1000, 1000)
-		_, st, err := collective.AllReduce(n, in, monoid.Sum[int]())
+		_, st, err := collective.AllReduceOn(c, in, monoid.Sum[int]())
 		return st, err
 	}},
-	{"gather", []int{3, 4, 5, 6}, nil, func(n int) (machine.Stats, error) {
+	{"gather", nil, []int{3, 4, 5, 6}, nil, func(topo string, n int) (machine.Stats, error) {
 		in := randInts(int64(n)+21, 1<<(2*n-1), -1000, 1000)
 		_, st, err := collective.Gather(n, 1, in)
 		return st, err
 	}},
-	{"scatter", []int{3, 4, 5, 6}, nil, func(n int) (machine.Stats, error) {
+	{"scatter", nil, []int{3, 4, 5, 6}, nil, func(topo string, n int) (machine.Stats, error) {
 		in := randInts(int64(n)+34, 1<<(2*n-1), -1000, 1000)
 		_, st, err := collective.Scatter(n, 1, in)
 		return st, err
 	}},
-	{"alltoall", []int{3, 4, 5, 6}, func(n int) string {
+	{"alltoall", nil, []int{3, 4, 5, 6}, func(n int) string {
 		// The N^2-element personalized exchange costs ~1.3s per run at D_6
 		// (2048 nodes); with warm-up, the alloc count and 5 timing samples
 		// that one cell would dominate the whole sweep, so the bench-smoke
@@ -82,7 +95,7 @@ var benchWorkloads = []struct {
 			return fmt.Sprintf("%d^2-element exchange runs ~1.3s/op; 8 measured runs would dominate the sweep", 1<<(2*n-1))
 		}
 		return ""
-	}, func(n int) (machine.Stats, error) {
+	}, func(topo string, n int) (machine.Stats, error) {
 		N := 1 << (2*n - 1)
 		in := make([][]int, N)
 		for i := range in {
@@ -124,46 +137,53 @@ func BenchSweep(sched string, runs int) ([]BenchPoint, error) {
 	}
 	var points []BenchPoint
 	for _, w := range benchWorkloads {
-		for _, n := range w.ns {
-			if w.skip != nil {
-				if reason := w.skip(n); reason != "" {
-					points = append(points, BenchPoint{
-						Name: w.name, N: n, Nodes: 1 << (2*n - 1), Sched: sched, Skip: reason,
-					})
-					continue
+		topos := w.topos
+		if topos == nil {
+			topos = []string{"dualcube"}
+		}
+		for _, topo := range topos {
+			for _, n := range w.ns {
+				if w.skip != nil {
+					if reason := w.skip(n); reason != "" {
+						points = append(points, BenchPoint{
+							Name: w.name, Topo: topo, N: n, Nodes: 1 << (2*n - 1), Sched: sched, Skip: reason,
+						})
+						continue
+					}
 				}
-			}
-			st, err := w.run(n) // warm-up: pools the engine, compiles the schedule
-			if err != nil {
-				return nil, fmt.Errorf("bench %s/D_%d: %w", w.name, n, err)
-			}
-			var allocErr error
-			allocs := testing.AllocsPerRun(1, func() {
-				if _, err := w.run(n); err != nil {
-					allocErr = err
+				st, err := w.run(topo, n) // warm-up: pools the engine, compiles the schedule
+				if err != nil {
+					return nil, fmt.Errorf("bench %s/%s/D_%d: %w", w.name, topo, n, err)
 				}
-			})
-			if allocErr != nil {
-				return nil, fmt.Errorf("bench %s/D_%d: %w", w.name, n, allocErr)
-			}
-			samples := make([]time.Duration, runs)
-			for i := range samples {
-				start := time.Now()
-				if st, err = w.run(n); err != nil {
-					return nil, fmt.Errorf("bench %s/D_%d: %w", w.name, n, err)
+				var allocErr error
+				allocs := testing.AllocsPerRun(1, func() {
+					if _, err := w.run(topo, n); err != nil {
+						allocErr = err
+					}
+				})
+				if allocErr != nil {
+					return nil, fmt.Errorf("bench %s/%s/D_%d: %w", w.name, topo, n, allocErr)
 				}
-				samples[i] = time.Since(start)
+				samples := make([]time.Duration, runs)
+				for i := range samples {
+					start := time.Now()
+					if st, err = w.run(topo, n); err != nil {
+						return nil, fmt.Errorf("bench %s/%s/D_%d: %w", w.name, topo, n, err)
+					}
+					samples[i] = time.Since(start)
+				}
+				points = append(points, BenchPoint{
+					Name:        w.name,
+					Topo:        topo,
+					N:           n,
+					Nodes:       st.Nodes,
+					Sched:       sched,
+					NsPerOp:     median(samples).Nanoseconds(),
+					AllocsPerOp: uint64(allocs),
+					Cycles:      st.Cycles,
+					Runs:        runs,
+				})
 			}
-			points = append(points, BenchPoint{
-				Name:        w.name,
-				N:           n,
-				Nodes:       st.Nodes,
-				Sched:       sched,
-				NsPerOp:     median(samples).Nanoseconds(),
-				AllocsPerOp: uint64(allocs),
-				Cycles:      st.Cycles,
-				Runs:        runs,
-			})
 		}
 	}
 	return points, nil

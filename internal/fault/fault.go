@@ -104,21 +104,22 @@ func (p *Plan) Spec() *machine.FaultSpec {
 }
 
 // Validate checks the plan against a topology: every failed link must be an
-// edge of d, every failed node an address, and the probabilities sensible.
+// edge of t, every failed node an address, and the probabilities sensible.
 // The engine re-checks links when arming; Validate exists so commands can
 // reject bad plans before spending a run.
-func (p *Plan) Validate(d *topology.DualCube) error {
+func (p *Plan) Validate(t topology.Topology) error {
 	if p == nil {
 		return nil
 	}
+	n := t.Nodes()
 	for _, l := range p.Links {
-		if !d.Valid(l.U) || !d.Valid(l.V) || !d.HasEdge(l.U, l.V) {
-			return fmt.Errorf("fault: plan fails link %v, which is not a link of %s", l, d.Name())
+		if l.U < 0 || l.U >= n || l.V < 0 || l.V >= n || !t.HasEdge(l.U, l.V) {
+			return fmt.Errorf("fault: plan fails link %v, which is not a link of %s", l, t.Name())
 		}
 	}
 	for _, u := range p.Nodes {
-		if !d.Valid(u) {
-			return fmt.Errorf("fault: plan fails node %d, outside %s", u, d.Name())
+		if u < 0 || u >= n {
+			return fmt.Errorf("fault: plan fails node %d, outside %s", u, t.Name())
 		}
 	}
 	if p.DropProb < 0 || p.DropProb > 1 || p.DelayProb < 0 || p.DelayProb > 1 {
@@ -130,12 +131,12 @@ func (p *Plan) Validate(d *topology.DualCube) error {
 	return nil
 }
 
-// RandomLinks picks f distinct links of d uniformly at random, deterministic
+// RandomLinks picks f distinct links of t uniformly at random, deterministic
 // in seed: the canonical edge list is partially Fisher-Yates shuffled by a
-// seeded PRNG. Callers wanting the paper-grade guarantee keep f <= n-1, the
-// link connectivity of D_n, but any f up to the edge count is accepted.
-func RandomLinks(d *topology.DualCube, f int, seed int64) []Link {
-	edges := allLinks(d)
+// seeded PRNG. Callers wanting the paper-grade guarantee keep f below the
+// topology's link connectivity, but any f up to the edge count is accepted.
+func RandomLinks(t topology.Topology, f int, seed int64) []Link {
+	edges := allLinks(t)
 	if f < 0 {
 		f = 0
 	}
@@ -159,15 +160,20 @@ func RandomLinks(d *topology.DualCube, f int, seed int64) []Link {
 
 // Random builds a plan of f random permanent link faults — the standard
 // scenario of the fault-sweep experiments.
-func Random(d *topology.DualCube, f int, seed int64) *Plan {
-	return &Plan{Seed: seed, Links: RandomLinks(d, f, seed)}
+func Random(t topology.Topology, f int, seed int64) *Plan {
+	return &Plan{Seed: seed, Links: RandomLinks(t, f, seed)}
 }
 
-// allLinks enumerates every undirected link of d in canonical (U < V) order.
-func allLinks(d *topology.DualCube) []Link {
-	edges := make([]Link, 0, d.Nodes()*d.Order()/2)
-	for u := 0; u < d.Nodes(); u++ {
-		for _, v := range d.Neighbors(u) {
+// allLinks enumerates every undirected link of t in canonical (U < V) order.
+func allLinks(t topology.Topology) []Link {
+	n := t.Nodes()
+	hint := 0
+	if n > 0 {
+		hint = n * t.Degree(0) / 2
+	}
+	edges := make([]Link, 0, hint)
+	for u := 0; u < n; u++ {
+		for _, v := range t.Neighbors(u) {
 			if u < v {
 				edges = append(edges, Link{u, v})
 			}

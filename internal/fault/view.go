@@ -17,21 +17,21 @@ import (
 // clean network, so callers thread a single pointer through and pay nothing
 // when no plan is armed.
 type View struct {
-	d        *topology.DualCube
+	t        topology.Topology
 	downLink map[Link]struct{}
 	downNode map[int]struct{}
 }
 
-// NewView indexes plan's permanent faults against d. Transient probabilities
+// NewView indexes plan's permanent faults against t. Transient probabilities
 // are deliberately excluded: drops and delays are not diagnosable in advance,
 // so routing treats them as live-link noise. A nil plan (or one with no
 // permanent faults) yields a nil View.
-func NewView(d *topology.DualCube, plan *Plan) *View {
+func NewView(t topology.Topology, plan *Plan) *View {
 	if plan == nil || (len(plan.Links) == 0 && len(plan.Nodes) == 0) {
 		return nil
 	}
 	v := &View{
-		d:        d,
+		t:        t,
 		downLink: make(map[Link]struct{}, len(plan.Links)),
 		downNode: make(map[int]struct{}, len(plan.Nodes)),
 	}
@@ -82,7 +82,7 @@ func (v *View) DownLinks() []Link {
 		set[l] = struct{}{}
 	}
 	for u := range v.downNode {
-		for _, w := range v.d.Neighbors(u) {
+		for _, w := range v.t.Neighbors(u) {
 			set[Link{u, w}.Normalize()] = struct{}{}
 		}
 	}
@@ -120,7 +120,7 @@ func (v *View) Path(u, w int) []int {
 	for len(frontier) > 0 {
 		var next []int
 		for _, x := range frontier {
-			for _, y := range v.d.Neighbors(x) {
+			for _, y := range v.t.Neighbors(x) {
 				if v.LinkDown(x, y) {
 					continue
 				}

@@ -123,12 +123,14 @@ func (s *Step) LinkIndexes() []int32 { return s.links }
 // immutable after construction and shared by every run.
 type Schedule struct {
 	Name string
-	// D is the dual-cube the schedule is compiled for. Cluster, cross and
-	// recursive-dimension steps require it; nil for schedules bound to
-	// another network through Topo (the hypercube bitonic baseline).
-	D *topology.DualCube
-	// Topo binds a schedule compiled for a non-dual-cube network. nil for
-	// dual-cube schedules, which set D.
+	// D is the communication topology the schedule is compiled for — any
+	// Comm family (dual-cube, odd-dimensional hypercube, Z-cube). Cluster,
+	// cross and recursive-dimension steps require it; nil for schedules
+	// bound to a plain network through Topo (the bitonic baseline, which
+	// needs only bit-dimension matchings).
+	D topology.Comm
+	// Topo binds a schedule compiled for a non-Comm network. nil for
+	// Comm-derived schedules, which set D.
 	Topo  topology.Topology
 	Steps []Step
 	// RepairCycles is the extra clock cycles the fault annotations append
@@ -138,7 +140,7 @@ type Schedule struct {
 }
 
 // Topology returns the network the schedule is compiled for: Topo when set,
-// otherwise the dual-cube D.
+// otherwise the communication topology D.
 func (s *Schedule) Topology() topology.Topology {
 	if s.Topo != nil {
 		return s.Topo
@@ -172,7 +174,10 @@ func (s *Schedule) Finalize() {
 			// physically adjacent (they relay through two cross-edges), so
 			// only the partner table exists; links stay nil and the
 			// executors run the 3-cycle choreography instead of a link write.
-			d := s.D
+			d, ok := s.D.(topology.Recursive)
+			if !ok {
+				return // no recursive presentation: leave unaccelerated
+			}
 			for u := 0; u < n; u++ {
 				partners[u] = int32(d.FromRecursive(d.ToRecursive(u) ^ 1<<st.Dim))
 			}
@@ -295,7 +300,7 @@ func (x *Exec[T]) partner(s *Step) int {
 	case StepCrossHop:
 		return x.sch.D.CrossNeighbor(x.c.ID())
 	case StepRecDim:
-		d := x.sch.D
+		d := x.sch.D.(topology.Recursive)
 		return d.FromRecursive(d.ToRecursive(x.c.ID()) ^ 1<<s.Dim)
 	case StepBitDim:
 		return x.c.ID() ^ 1<<s.Dim
@@ -318,7 +323,7 @@ func (x *Exec[T]) Exchange(v T) T {
 	if s.Kind == StepRecDim {
 		// The routed compare-exchange has its own 3-cycle choreography;
 		// fault annotations never reach this kind (RewriteFT rejects them).
-		r := RecDimExchange(x.c, x.sch.D, s.Dim, v)
+		r := RecDimExchange(x.c, x.sch.D.(topology.Recursive), s.Dim, v)
 		x.pos++
 		return r
 	}
@@ -481,7 +486,7 @@ func RelayOneWay[T any](c *Ctx[T], path []int, v T) (T, bool) {
 // (the bidirectional-channel allowance). This is the choreography behind
 // StepRecDim: Exec.Exchange runs it on the engines, and RunDirect reproduces
 // its accounting (3 cycles, 2N messages) without executing the relays.
-func RecDimExchange[T any](c *Ctx[T], d *topology.DualCube, j int, v T) T {
+func RecDimExchange[T any](c *Ctx[T], d topology.Recursive, j int, v T) T {
 	u := c.ID()
 	cross := d.CrossNeighbor(u)
 	if j == 0 {

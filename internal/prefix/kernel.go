@@ -26,7 +26,7 @@ import (
 // the received totals t'; s2 is the diminished prefix of those totals s'.
 // snap is the Figure 3 phase-snapshot hook of DPrefix's tracing mode.
 type prefixKernel[T any] struct {
-	d         *topology.DualCube
+	d         topology.Comm
 	m         monoid.Monoid[T]
 	mdim      int
 	inclusive bool
@@ -37,7 +37,7 @@ type prefixKernel[T any] struct {
 	snap      func(i, idx int, s, t T)
 }
 
-func newPrefixKernel[T any](d *topology.DualCube, m monoid.Monoid[T], inclusive bool, in, out []T, snap func(i, idx int, s, t T)) *prefixKernel[T] {
+func newPrefixKernel[T any](d topology.Comm, m monoid.Monoid[T], inclusive bool, in, out []T, snap func(i, idx int, s, t T)) *prefixKernel[T] {
 	if snap == nil {
 		snap = func(int, int, T, T) {}
 	}
@@ -130,7 +130,7 @@ func (pk *prefixKernel[T]) Local(dc *machine.DirectCtx, k, u int) {
 // first Produce, offset-folded in Local), the schedule walk is the same
 // diminished Algorithm 2 over the chunk totals with s kept per node.
 type largeKernel[T any] struct {
-	d         *topology.DualCube
+	d         topology.Comm
 	m         monoid.Monoid[T]
 	mdim      int
 	chunk     int
@@ -142,7 +142,7 @@ type largeKernel[T any] struct {
 	s2        []T // diminished prefix of received totals s'
 }
 
-func newLargeKernel[T any](d *topology.DualCube, m monoid.Monoid[T], chunk int, inclusive bool, in, out []T) *largeKernel[T] {
+func newLargeKernel[T any](d topology.Comm, m monoid.Monoid[T], chunk int, inclusive bool, in, out []T) *largeKernel[T] {
 	n := d.Nodes()
 	return &largeKernel[T]{
 		d: d, m: m, mdim: d.ClusterDim(), chunk: chunk, inclusive: inclusive,

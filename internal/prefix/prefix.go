@@ -133,6 +133,18 @@ func DPrefix[T any](n int, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
+	return DPrefixOn(d, in, m, inclusive, tr)
+}
+
+// DPrefixOn is DPrefix over an explicit communication topology: Algorithm 2
+// runs unchanged on any Comm — dual-cube, odd hypercube or Z-cube — because
+// every exchange uses only the cluster decomposition the interface
+// guarantees. The input is in element order under the topology's block
+// layout (DataIndex), exactly as for DPrefix.
+func DPrefixOn[T any](d topology.Comm, in []T, m monoid.Monoid[T], inclusive bool, tr *Trace[T]) ([]T, machine.Stats, error) {
+	if err := topology.ValidLen(d, len(in)); err != nil {
+		return nil, machine.Stats{}, err
+	}
 
 	// snap stays nil without tracing so steady-state runs skip the closure.
 	var snap func(i int, idx int, s, t T)

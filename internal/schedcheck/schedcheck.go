@@ -53,13 +53,13 @@ import (
 // this not regressing.
 const maxDetourHops = 7
 
-// Check compiles op on d and verifies the fault-free schedule's structure.
-func Check(d *topology.DualCube, op dcomm.Op) error {
-	sch, err := dcomm.Compiled(d, op)
+// Check compiles op on c and verifies the fault-free schedule's structure.
+func Check(c topology.Comm, op dcomm.Op) error {
+	sch, err := dcomm.Compiled(c, op)
 	if err != nil {
 		return err
 	}
-	if err := CheckSchedule(sch, d, op); err != nil {
+	if err := CheckSchedule(sch, c, op); err != nil {
 		return err
 	}
 	if sch.RepairCycles != 0 {
@@ -125,13 +125,15 @@ func shapeOf(op dcomm.Op, m int) ([]stepShape, error) {
 }
 
 // CheckSchedule verifies sch's step sequence and finalized exchange tables
-// against d and op's expected skeleton. It accepts a fault-rewritten variant
-// too (annotations are CheckFT's business); structural invariants are
-// identical for both.
-func CheckSchedule(sch *machine.Schedule, d *topology.DualCube, op dcomm.Op) error {
-	n, m, N := d.Order(), d.ClusterDim(), d.Nodes()
-	if sch.D != d {
-		return fmt.Errorf("schedcheck: %s: schedule bound to %s, want %s", sch.Name, sch.D.Name(), d.Name())
+// against c and op's expected skeleton, generically over any communication
+// topology (dual-cube, hypercube, Z-cube): every invariant is phrased in
+// terms of the Comm decomposition, so one proof covers all families. It
+// accepts a fault-rewritten variant too (annotations are CheckFT's
+// business); structural invariants are identical for both.
+func CheckSchedule(sch *machine.Schedule, c topology.Comm, op dcomm.Op) error {
+	n, m, N := c.Order(), c.ClusterDim(), c.Nodes()
+	if sch.D != c {
+		return fmt.Errorf("schedcheck: %s: schedule bound to %s, want %s", sch.Name, sch.D.Name(), c.Name())
 	}
 	shape, err := shapeOf(op, m)
 	if err != nil {
@@ -203,20 +205,20 @@ func CheckSchedule(sch *machine.Schedule, d *topology.DualCube, op dcomm.Op) err
 			}
 			var expect int
 			if s.Kind == machine.StepClusterDim {
-				expect = d.ClusterNeighbor(u, s.Dim)
-				if d.Class(p) != d.Class(u) || !d.SameCluster(u, p) {
+				expect = c.ClusterNeighbor(u, s.Dim)
+				if c.Class(p) != c.Class(u) || !c.SameCluster(u, p) {
 					return fmt.Errorf("schedcheck: %s step %d: cluster step pairs %d outside %d's cluster", sch.Name, i, p, u)
 				}
 			} else {
-				expect = d.CrossNeighbor(u)
-				if d.Class(p) == d.Class(u) {
+				expect = c.CrossNeighbor(u)
+				if c.Class(p) == c.Class(u) {
 					return fmt.Errorf("schedcheck: %s step %d: cross step pairs %d and %d of the same class", sch.Name, i, u, p)
 				}
 			}
 			if p != expect {
 				return fmt.Errorf("schedcheck: %s step %d: node %d partner %d, want %d", sch.Name, i, u, p, expect)
 			}
-			row := d.Neighbors(u)
+			row := c.Neighbors(u)
 			li := int(links[u])
 			if li < 0 || li >= len(row) || row[li] != p {
 				return fmt.Errorf("schedcheck: %s step %d: node %d link index %d does not select partner %d", sch.Name, i, u, li, p)
@@ -243,10 +245,11 @@ func CheckSchedule(sch *machine.Schedule, d *topology.DualCube, op dcomm.Op) err
 // dimension's matching must be the involution r ↔ r^(1<<j) in recursive-ID
 // space, finalized partner-only (routed pairs are not adjacent, so there is
 // no link table), and the fault-free schedule must carry no annotations.
-func CheckSortSchedule(sch *machine.Schedule, d *topology.DualCube) error {
-	n, m, N := d.Order(), d.ClusterDim(), d.Nodes()
-	if sch.D != d {
-		return fmt.Errorf("schedcheck: %s: schedule bound to %s, want %s", sch.Name, sch.D.Name(), d.Name())
+// Generic over any topology carrying the recursive presentation.
+func CheckSortSchedule(sch *machine.Schedule, c topology.Recursive) error {
+	n, m, N := c.Order(), c.ClusterDim(), c.Nodes()
+	if sch.D != topology.Comm(c) {
+		return fmt.Errorf("schedcheck: %s: schedule bound to %s, want %s", sch.Name, sch.D.Name(), c.Name())
 	}
 
 	// The expected dimension ladder of Algorithm 3.
@@ -328,21 +331,21 @@ func CheckSortSchedule(sch *machine.Schedule, d *topology.DualCube) error {
 			if int(partners[p]) != u {
 				return fmt.Errorf("schedcheck: %s step %d: matching not an involution at %d: partner %d pairs back to %d", sch.Name, i, u, p, partners[p])
 			}
-			expect := d.FromRecursive(d.ToRecursive(u) ^ 1<<j)
+			expect := c.FromRecursive(c.ToRecursive(u) ^ 1<<j)
 			if p != expect {
 				return fmt.Errorf("schedcheck: %s step %d: node %d partner %d, want recursive-dimension-%d partner %d", sch.Name, i, u, p, j, expect)
 			}
 			if j == 0 {
 				// Dimension 0 is the cross matching: adjacent, with a link
 				// table the interpreter's fast path uses.
-				if p != d.CrossNeighbor(u) {
-					return fmt.Errorf("schedcheck: %s step %d: node %d cross partner %d, want %d", sch.Name, i, u, p, d.CrossNeighbor(u))
+				if p != c.CrossNeighbor(u) {
+					return fmt.Errorf("schedcheck: %s step %d: node %d cross partner %d, want %d", sch.Name, i, u, p, c.CrossNeighbor(u))
 				}
 				links := s.LinkIndexes()
 				if links == nil {
 					return fmt.Errorf("schedcheck: %s step %d: cross step has no link table", sch.Name, i)
 				}
-				row := d.Neighbors(u)
+				row := c.Neighbors(u)
 				li := int(links[u])
 				if li < 0 || li >= len(row) || row[li] != p {
 					return fmt.Errorf("schedcheck: %s step %d: node %d link index %d does not select partner %d", sch.Name, i, u, li, p)
@@ -509,7 +512,7 @@ func CheckFT(ft, base *machine.Schedule, view *fault.View, f int) error {
 // step's matching, the path is a simple alive walk of adjacent nodes joining
 // them, Back is its exact reverse, and under the paper's fault budget the
 // length respects the maxDetourHops ceiling.
-func checkDetour(d *topology.DualCube, view *fault.View, dt *machine.Detour, severed map[[2]int]bool, n, f int) error {
+func checkDetour(d topology.Comm, view *fault.View, dt *machine.Detour, severed map[[2]int]bool, n, f int) error {
 	if len(dt.Path) < 3 {
 		return fmt.Errorf("path %v too short to avoid the severed link", dt.Path)
 	}
@@ -543,7 +546,7 @@ func checkDetour(d *topology.DualCube, view *fault.View, dt *machine.Detour, sev
 		}
 	}
 	if f <= n-1 && len(dt.Path)-1 > maxDetourHops {
-		return fmt.Errorf("detour %v takes %d hops, over the %d-hop ceiling for %d faults on D_%d", dt.Path, len(dt.Path)-1, maxDetourHops, f, n)
+		return fmt.Errorf("detour %v takes %d hops, over the %d-hop ceiling for %d faults on %s", dt.Path, len(dt.Path)-1, maxDetourHops, f, d.Name())
 	}
 	return nil
 }
@@ -552,53 +555,25 @@ func checkDetour(d *topology.DualCube, view *fault.View, dt *machine.Detour, sev
 // standard experiment seed and one contrasting draw.
 var ftSeeds = []int64{2008, 42}
 
-// Verify runs the full static battery for every order in [minOrder,
-// maxOrder]: all cluster-technique operations' fault-free schedules plus
-// RewriteFT variants under f = 1 and f = n-1 random link faults per seed;
-// the D_sort schedule against Theorem 2's exact step and cycle counts, with
-// the assertion that RewriteFT refuses to annotate it; and the hypercube
+// Verify runs the full static battery for every communication family
+// (dual-cube, hypercube, Z-cube) at every order in [minOrder, maxOrder]:
+// all cluster-technique operations' fault-free schedules plus RewriteFT
+// variants under f = 1 and f = n-1 random link faults per seed; the D_sort
+// schedule against Theorem 2's exact step and cycle counts, with the
+// assertion that RewriteFT refuses to annotate it; and the hypercube
 // bitonic-sort baseline for every q up to 2·maxOrder-1 (the dimension whose
-// node count matches D_maxOrder).
+// node count matches D_maxOrder). The f = n-1 fault budget is sound on all
+// three families because each contains D_n as a spanning subgraph, so its
+// link connectivity is at least n (λ(D_n) = n per Zhao/Hao/Cheng).
 func Verify(minOrder, maxOrder int) error {
-	for n := minOrder; n <= maxOrder; n++ {
-		d, err := topology.Shared(n)
-		if err != nil {
-			return err
-		}
-		for op := dcomm.OpPrefix; op < dcomm.OpEnd; op++ {
-			base, err := dcomm.Compiled(d, op)
+	for _, family := range topology.Families() {
+		for n := minOrder; n <= maxOrder; n++ {
+			c, err := topology.CommByID(family, n)
 			if err != nil {
 				return err
 			}
-			if op == dcomm.OpDSort {
-				if err := CheckSortSchedule(base, d); err != nil {
-					return err
-				}
-				// The recursive-technique choreography has no static detour
-				// form; the rewrite must refuse, never mis-annotate.
-				view := fault.NewView(d, fault.Random(d, 1, ftSeeds[0]))
-				if _, err := dcomm.RewriteFT(base, view); err == nil {
-					return fmt.Errorf("schedcheck: %s: RewriteFT accepted a recursive-technique schedule", base.Name)
-				}
-				continue
-			}
-			if err := Check(d, op); err != nil {
+			if err := VerifyComm(c); err != nil {
 				return err
-			}
-			for _, f := range faultBudgets(n) {
-				for _, seed := range ftSeeds {
-					view := fault.NewView(d, fault.Random(d, f, seed))
-					ft, err := dcomm.RewriteFT(base, view)
-					if err != nil {
-						return fmt.Errorf("schedcheck: %s f=%d seed=%d: %w", base.Name, f, seed, err)
-					}
-					if err := CheckFT(ft, base, view, f); err != nil {
-						return fmt.Errorf("f=%d seed=%d: %w", f, seed, err)
-					}
-					if err := CheckSchedule(ft, d, op); err != nil {
-						return fmt.Errorf("f=%d seed=%d: %w", f, seed, err)
-					}
-				}
 			}
 		}
 	}
@@ -607,8 +582,60 @@ func Verify(minOrder, maxOrder int) error {
 		if err != nil {
 			return err
 		}
-		if err := CheckCubeSortSchedule(dcomm.CompiledCubeSort(h), h); err != nil {
+		sch, err := dcomm.CompiledCubeSort(h)
+		if err != nil {
 			return err
+		}
+		if err := CheckCubeSortSchedule(sch, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyComm runs the per-topology battery on one communication topology:
+// every operation's fault-free schedule, the Theorem 2 sort ladder, and the
+// fault-rewrite checks under the standard seeds and budgets.
+func VerifyComm(c topology.Comm) error {
+	n := c.Order()
+	for op := dcomm.OpPrefix; op < dcomm.OpEnd; op++ {
+		base, err := dcomm.Compiled(c, op)
+		if err != nil {
+			return err
+		}
+		if op == dcomm.OpDSort {
+			r, ok := c.(topology.Recursive)
+			if !ok {
+				return fmt.Errorf("schedcheck: %s compiled a sort schedule without a recursive presentation", c.Name())
+			}
+			if err := CheckSortSchedule(base, r); err != nil {
+				return err
+			}
+			// The recursive-technique choreography has no static detour
+			// form; the rewrite must refuse, never mis-annotate.
+			view := fault.NewView(c, fault.Random(c, 1, ftSeeds[0]))
+			if _, err := dcomm.RewriteFT(base, view); err == nil {
+				return fmt.Errorf("schedcheck: %s: RewriteFT accepted a recursive-technique schedule", base.Name)
+			}
+			continue
+		}
+		if err := Check(c, op); err != nil {
+			return err
+		}
+		for _, f := range faultBudgets(n) {
+			for _, seed := range ftSeeds {
+				view := fault.NewView(c, fault.Random(c, f, seed))
+				ft, err := dcomm.RewriteFT(base, view)
+				if err != nil {
+					return fmt.Errorf("schedcheck: %s f=%d seed=%d: %w", base.Name, f, seed, err)
+				}
+				if err := CheckFT(ft, base, view, f); err != nil {
+					return fmt.Errorf("f=%d seed=%d: %w", f, seed, err)
+				}
+				if err := CheckSchedule(ft, c, op); err != nil {
+					return fmt.Errorf("f=%d seed=%d: %w", f, seed, err)
+				}
+			}
 		}
 	}
 	return nil

@@ -142,10 +142,11 @@ func TestCheckSortScheduleCatchesTampering(t *testing.T) {
 	}
 }
 
-// buildPrefixSchedule hand-builds the prefix skeleton on d, finalized —
-// a private schedule the negative tests may corrupt without poisoning the
-// shared dcomm cache.
-func buildPrefixSchedule(d *topology.DualCube) *machine.Schedule {
+// buildPrefixSchedule hand-builds the prefix skeleton on d — any Comm
+// family, since the cluster technique runs over the embedded D_n skeleton —
+// finalized: a private schedule the negative tests may corrupt without
+// poisoning the shared dcomm cache.
+func buildPrefixSchedule(d topology.Comm) *machine.Schedule {
 	m := d.ClusterDim()
 	sch := &machine.Schedule{Name: "prefix/" + d.Name(), D: d}
 	for half := 0; half < 2; half++ {
@@ -195,6 +196,39 @@ func TestCheckScheduleCatchesTamperedPartner(t *testing.T) {
 		t.Error("tampered link index passed verification")
 	}
 	links[0]--
+}
+
+// TestCheckScheduleTamperingAllFamilies repeats the tampered-partner probe
+// on every topology family: the generalized checker must verify and reject
+// hypercube and Z-cube schedules exactly as it does dual-cube ones.
+func TestCheckScheduleTamperingAllFamilies(t *testing.T) {
+	for _, fam := range topology.Families() {
+		t.Run(fam, func(t *testing.T) {
+			c, err := topology.CommByID(fam, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch := buildPrefixSchedule(c)
+			if err := CheckSchedule(sch, c, dcomm.OpPrefix); err != nil {
+				t.Fatalf("pristine schedule rejected: %v", err)
+			}
+			partners := sch.Steps[0].Partners()
+			orig := partners[0]
+			partners[0] = partners[2]
+			if CheckSchedule(sch, c, dcomm.OpPrefix) == nil {
+				t.Error("tampered partner table passed verification")
+			}
+			partners[0] = orig
+			sch.Steps[1].Dim++
+			if CheckSchedule(sch, c, dcomm.OpPrefix) == nil {
+				t.Error("tampered step dimension passed verification")
+			}
+			sch.Steps[1].Dim--
+			if err := CheckSchedule(sch, c, dcomm.OpPrefix); err != nil {
+				t.Fatalf("restored schedule rejected: %v", err)
+			}
+		})
+	}
 }
 
 // TestCheckScheduleRejectsUnfinalized checks that a schedule whose tables

@@ -42,11 +42,14 @@ type dsortPlan struct {
 var dsortPlans [topology.MaxDualCubeOrder + 1]atomic.Pointer[dsortPlan]
 
 // dsortPlanFor returns the cached direction plan of D_sort on d, building
-// it on first use. The meta sequence mirrors dcomm's OpDSort schedule step
+// it on first use. The plan depends only on the order: every Comm family
+// shares the dual-cube recursive presentation (the hypercube and Z-cube
+// delegate to their spanning skeleton), so one cache slot per order serves
+// all of them. The meta sequence mirrors dcomm's OpDSort schedule step
 // for step: the level-1 base sort, then per level l a half-merge oriented by
 // recursive bit 2l-2 and a final merge oriented by bit 2l-1 (the enclosing
 // quarter's alternation) — or by the requested Order at the top level.
-func dsortPlanFor(d *topology.DualCube) *dsortPlan {
+func dsortPlanFor(d topology.Recursive) *dsortPlan {
 	slot := &dsortPlans[d.Order()]
 	if p := slot.Load(); p != nil {
 		return p
@@ -162,7 +165,7 @@ func (ek *exchKernel[K]) Local(dc *machine.DirectCtx, k, u int) {}
 
 // newDSortKernel loads keys (given in recursive-ID order) onto the nodes of
 // d and pairs them with the order's direction plan.
-func newDSortKernel[K any](d *topology.DualCube, keys []K, less func(a, b K) bool, ord Order, snaps []*Step[K]) *exchKernel[K] {
+func newDSortKernel[K any](d topology.Recursive, keys []K, less func(a, b K) bool, ord Order, snaps []*Step[K]) *exchKernel[K] {
 	plan := dsortPlanFor(d)
 	key := make([]K, len(keys))
 	for u := range key {

@@ -80,7 +80,10 @@ func CubeSort[K any](q int, keys []K, less func(a, b K) bool, ord Order) ([]K, m
 	if err := validOrder(ord); err != nil {
 		return nil, machine.Stats{}, err
 	}
-	sch := dcomm.CompiledCubeSort(h)
+	sch, err := dcomm.CompiledCubeSort(h)
+	if err != nil {
+		return nil, machine.Stats{}, err
+	}
 	key := make([]K, len(keys))
 	copy(key, keys)
 	kern := &exchKernel[K]{less: less, ord: ord, key: key, metas: cubeSortMetasFor(q)}
@@ -154,6 +157,18 @@ func dsortSchedule(n int) []Step[struct{}] {
 func DSort[K any](n int, keys []K, less func(a, b K) bool, ord Order, tr *Trace[K]) ([]K, machine.Stats, error) {
 	d, err := topology.Validated(n, len(keys))
 	if err != nil {
+		return nil, machine.Stats{}, err
+	}
+	return DSortOn(d, keys, less, ord, tr)
+}
+
+// DSortOn is DSort over an explicit communication topology carrying the
+// recursive presentation: the same merge ladder runs on the dual-cube, the
+// odd hypercube and the Z-cube, whose recursive IDs all coincide with the
+// embedded D_n's.
+func DSortOn[K any](d topology.Recursive, keys []K, less func(a, b K) bool, ord Order, tr *Trace[K]) ([]K, machine.Stats, error) {
+	n := d.Order()
+	if err := topology.ValidLen(d, len(keys)); err != nil {
 		return nil, machine.Stats{}, err
 	}
 	if err := validOrder(ord); err != nil {

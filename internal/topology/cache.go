@@ -10,9 +10,18 @@ import "fmt"
 // array read on every call.
 var shared [MaxDualCubeOrder + 1]*DualCube
 
+// sharedZ and sharedHyper extend the same eager, allocation-free sharing to
+// the other Comm families, indexed by dual-cube order n: Z_n and Q_{2n-1}.
+var (
+	sharedZ     [MaxDualCubeOrder + 1]*ZCube
+	sharedHyper [MaxDualCubeOrder + 1]*Hypercube
+)
+
 func init() {
 	for n := 1; n <= MaxDualCubeOrder; n++ {
 		shared[n] = &DualCube{n: n, m: n - 1}
+		sharedZ[n] = &ZCube{sk: shared[n]}
+		sharedHyper[n] = &Hypercube{q: 2*n - 1}
 	}
 }
 

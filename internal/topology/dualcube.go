@@ -62,6 +62,29 @@ func (d *DualCube) AddressBits() int { return 2*d.n - 1 }
 // Name implements Topology.
 func (d *DualCube) Name() string { return "D_" + itoa(d.n) }
 
+// Family implements Comm.
+func (d *DualCube) Family() string { return "dualcube" }
+
+// Connectivity implements Comm: D_n has node and link connectivity n
+// (Li/Peng/Chu ICPP'08, tight — cutting all n links of one node
+// disconnects it), and generalized 3-(edge-)connectivity n-1
+// (Zhao/Hao/Cheng, arXiv 1803.10414), so any n-1 link faults leave the
+// network connected and any three nodes admit n-1 internally disjoint
+// Steiner trees.
+func (d *DualCube) Connectivity() Connectivity {
+	c := Connectivity{
+		Node:   d.n,
+		Link:   d.n,
+		Source: "κ=λ=n (Li/Peng/Chu ICPP'08)",
+	}
+	if d.n >= 2 {
+		c.Tree3Node = d.n - 1
+		c.Tree3Link = d.n - 1
+		c.Source = "κ=λ=n (Li/Peng/Chu ICPP'08); κ₃=λ₃=n-1 (Zhao/Hao/Cheng arXiv 1803.10414)"
+	}
+	return c
+}
+
 // Nodes implements Topology: N = 2^(2n-1).
 func (d *DualCube) Nodes() int { return 1 << (2*d.n - 1) }
 

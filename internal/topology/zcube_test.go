@@ -1,0 +1,115 @@
+package topology
+
+import "testing"
+
+// TestZCubeBasics pins the regular structure of Z_n: 2^(2n-1) nodes of
+// degree 2n-1, a duplicate-free neighbor list, and a symmetric HasEdge that
+// agrees with Neighbors in both directions.
+func TestZCubeBasics(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		z := MustZCube(n)
+		if got, want := z.Nodes(), 1<<(2*n-1); got != want {
+			t.Fatalf("Z_%d: %d nodes, want %d", n, got, want)
+		}
+		for u := NodeID(0); int(u) < z.Nodes(); u++ {
+			ns := z.Neighbors(u)
+			if len(ns) != 2*n-1 || z.Degree(u) != 2*n-1 {
+				t.Fatalf("Z_%d node %d: %d neighbors, degree %d, want %d", n, u, len(ns), z.Degree(u), 2*n-1)
+			}
+			seen := make(map[NodeID]bool, len(ns))
+			for _, v := range ns {
+				if v == u || seen[v] {
+					t.Fatalf("Z_%d node %d: neighbor list %v has a self-loop or duplicate", n, u, ns)
+				}
+				seen[v] = true
+				if !z.HasEdge(u, v) || !z.HasEdge(v, u) {
+					t.Fatalf("Z_%d: HasEdge(%d,%d) disagrees with Neighbors", n, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestZCubeSpanningSkeleton checks D_n is a spanning subgraph of Z_n under
+// the identity addressing — the property every compiled schedule, detour
+// plan and fault budget relies on.
+func TestZCubeSpanningSkeleton(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		z := MustZCube(n)
+		d := z.Skeleton()
+		for u := NodeID(0); int(u) < d.Nodes(); u++ {
+			for _, v := range d.Neighbors(u) {
+				if !z.HasEdge(u, v) {
+					t.Fatalf("Z_%d: skeleton edge {%d,%d} of D_%d is missing", n, u, v, n)
+				}
+			}
+		}
+	}
+}
+
+// TestZCubeForeignLinks checks the Möbius foreign links: each is a symmetric
+// involution joining two nodes of the same class and local ID, the n-1
+// dimensions are pairwise distinct, and none coincides with a skeleton link.
+func TestZCubeForeignLinks(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		z := MustZCube(n)
+		for u := NodeID(0); int(u) < z.Nodes(); u++ {
+			seen := make(map[NodeID]bool, n-1)
+			for j := 0; j < n-1; j++ {
+				v := z.ForeignNeighbor(u, j)
+				if v == u || seen[v] {
+					t.Fatalf("Z_%d node %d: foreign dim %d repeats partner %d", n, u, j, v)
+				}
+				seen[v] = true
+				if z.Class(u) != z.Class(v) || z.LocalID(u) != z.LocalID(v) {
+					t.Fatalf("Z_%d: foreign link {%d,%d} changes class or local ID", n, u, v)
+				}
+				if z.ForeignNeighbor(v, j) != u {
+					t.Fatalf("Z_%d: foreign dim %d is not an involution at node %d", n, j, u)
+				}
+				if z.Skeleton().HasEdge(u, v) {
+					t.Fatalf("Z_%d: foreign link {%d,%d} coincides with a skeleton link", n, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestZCubeDiameter pins the BFS diameter of small orders — 1, 3, 5, 5, 7
+// for n = 1..5 — and checks the Möbius links beat the dual-cube's diameter
+// 2n from n = 2 on: the structural payoff the Z-cube exists for.
+func TestZCubeDiameter(t *testing.T) {
+	want := map[int]int{1: 1, 2: 3, 3: 5, 4: 5, 5: 7}
+	for n := 1; n <= 5; n++ {
+		z := MustZCube(n)
+		got := DiameterBFS(z)
+		if got != want[n] {
+			t.Errorf("Z_%d: diameter %d, want %d", n, got, want[n])
+		}
+		if n >= 2 && got >= 2*n {
+			t.Errorf("Z_%d: diameter %d does not beat the dual-cube's 2n = %d", n, got, 2*n)
+		}
+	}
+}
+
+// TestZCubeCommDelegation checks the Comm and Recursive structure is the
+// skeleton's verbatim, so every compiled schedule and data layout carries
+// over unchanged.
+func TestZCubeCommDelegation(t *testing.T) {
+	z := MustZCube(3)
+	d := z.Skeleton()
+	if z.Family() != "zcube" || z.Order() != 3 || z.Name() != "Z_3" {
+		t.Fatalf("Z_3 identity: family %q order %d name %q", z.Family(), z.Order(), z.Name())
+	}
+	for u := NodeID(0); int(u) < z.Nodes(); u++ {
+		if z.Class(u) != d.Class(u) || z.ClusterID(u) != d.ClusterID(u) || z.LocalID(u) != d.LocalID(u) ||
+			z.DataIndex(u) != d.DataIndex(u) || z.ToRecursive(u) != d.ToRecursive(u) ||
+			z.CrossNeighbor(u) != d.CrossNeighbor(u) {
+			t.Fatalf("Z_3 node %d: Comm structure diverges from the skeleton", u)
+		}
+	}
+	conn := z.Connectivity()
+	if conn.Link != 3 || conn.Node != 3 || conn.MaxTolerableLinkFaults() != 2 {
+		t.Fatalf("Z_3 connectivity: %+v, want skeleton lower bound κ=λ=3", conn)
+	}
+}

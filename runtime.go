@@ -2,6 +2,7 @@ package dualcube
 
 import (
 	"cmp"
+	"fmt"
 
 	"dualcube/internal/collective"
 	"dualcube/internal/dcomm"
@@ -33,6 +34,13 @@ import (
 // (Prefix, Sort, ...) are thin wrappers over a package-default Runtime per
 // order, so both styles share the same caches.
 type Runtime struct {
+	// c is the bound communication topology — the dual-cube by default, or
+	// whichever family NewRuntimeOn selected. Every generalized operation
+	// (prefix, sort, broadcast, all-reduce) routes through it.
+	c topology.Comm
+	// d is the concrete dual-cube when c is the dualcube family, nil
+	// otherwise; operations not yet generalized beyond the dual-cube
+	// require it and reject other families with a clear error.
 	d *topology.DualCube
 }
 
@@ -45,7 +53,27 @@ func NewRuntime(n int) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{d: d}, nil
+	return &Runtime{c: d, d: d}, nil
+}
+
+// Families returns the topology family identifiers NewRuntimeOn accepts, in
+// stable order: "dualcube", "hypercube", "zcube".
+func Families() []string { return topology.Families() }
+
+// NewRuntimeOn returns the execution handle for one communication topology:
+// family is "dualcube", "hypercube" (Q_{2n-1}) or "zcube" (Z_n), and n the
+// dual-cube order, so all three handles of the same order run over the same
+// node count 2^(2n-1) and the same block data layout. The cluster-technique
+// operations — Prefix, Sort, Broadcast, AllReduce and their Func variants —
+// run on any family; the remaining operations are dual-cube-only for now
+// and return an error on other families.
+func NewRuntimeOn(family string, n int) (*Runtime, error) {
+	c, err := topology.CommByID(family, n)
+	if err != nil {
+		return nil, err
+	}
+	d, _ := c.(*topology.DualCube)
+	return &Runtime{c: c, d: d}, nil
 }
 
 // defaultRuntimes backs the package-level one-shot functions: one Runtime
@@ -56,7 +84,7 @@ var defaultRuntimes [topology.MaxDualCubeOrder + 1]Runtime
 func init() {
 	for n := 1; n <= topology.MaxDualCubeOrder; n++ {
 		d, _ := topology.Shared(n)
-		defaultRuntimes[n] = Runtime{d: d}
+		defaultRuntimes[n] = Runtime{c: d, d: d}
 	}
 }
 
@@ -71,14 +99,45 @@ func defaultRuntime(n int) (*Runtime, error) {
 	return &defaultRuntimes[n], nil
 }
 
-// Order returns n, the number of links per node.
-func (rt *Runtime) Order() int { return rt.d.Order() }
+// Order returns the dual-cube order n of the bound topology.
+func (rt *Runtime) Order() int { return rt.c.Order() }
 
 // Nodes returns the number of nodes, 2^(2n-1).
-func (rt *Runtime) Nodes() int { return rt.d.Nodes() }
+func (rt *Runtime) Nodes() int { return rt.c.Nodes() }
 
-// Network returns the topology handle for structural queries.
-func (rt *Runtime) Network() *Network { return &Network{d: rt.d} }
+// Family returns the bound topology family: "dualcube", "hypercube" or
+// "zcube".
+func (rt *Runtime) Family() string { return rt.c.Family() }
+
+// Comm returns the bound communication topology.
+func (rt *Runtime) Comm() topology.Comm { return rt.c }
+
+// Network returns the dual-cube topology handle for structural queries, or
+// nil when the Runtime is bound to another family (use Comm instead).
+func (rt *Runtime) Network() *Network {
+	if rt.d == nil {
+		return nil
+	}
+	return &Network{d: rt.d}
+}
+
+// dualOrder returns the dual-cube order for operations that have not been
+// generalized beyond the dual-cube family, rejecting other topologies.
+func (rt *Runtime) dualOrder(op string) (int, error) {
+	if rt.d == nil {
+		return 0, fmt.Errorf("dualcube: %s is only implemented on the dualcube family, not %s", op, rt.c.Name())
+	}
+	return rt.d.Order(), nil
+}
+
+// recursive returns the bound topology's recursive presentation, which the
+// sort family requires.
+func (rt *Runtime) recursive(op string) (topology.Recursive, error) {
+	if r, ok := rt.c.(topology.Recursive); ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("dualcube: %s needs a recursive presentation, which %s does not carry", op, rt.c.Name())
+}
 
 // Warm pre-compiles the cluster-technique schedules of every collective
 // operation for this order. Engines are typed by element, so they warm on
@@ -88,7 +147,7 @@ func (rt *Runtime) Network() *Network { return &Network{d: rt.d} }
 // surface to callers instead of panicking.
 func (rt *Runtime) Warm() error {
 	for op := dcomm.OpPrefix; op < dcomm.OpEnd; op++ {
-		if _, err := dcomm.Compiled(rt.d, op); err != nil {
+		if _, err := dcomm.Compiled(rt.c, op); err != nil {
 			return err
 		}
 	}
@@ -98,144 +157,227 @@ func (rt *Runtime) Warm() error {
 // Barrier synchronizes all nodes of the Runtime's network; it completes
 // only after every node has entered it (2n communication steps).
 func (rt *Runtime) Barrier() (Stats, error) {
-	return collective.Barrier(rt.d.Order())
+	return collective.BarrierOn(rt.c)
 }
 
 // HamiltonianCycle returns a Hamiltonian cycle of the Runtime's network
-// (n >= 2): a dilation-1 ring embedding over all 2^(2n-1) nodes.
+// (n >= 2): a dilation-1 ring embedding over all 2^(2n-1) nodes. Every
+// supported family contains D_n as a spanning subgraph under the identity
+// addressing, so the embedded dual-cube cycle is a valid ring on all of
+// them.
 func (rt *Runtime) HamiltonianCycle() ([]int, error) {
-	return embedding.DualCubeHamiltonianCycle(rt.d.Order())
+	return embedding.DualCubeHamiltonianCycle(rt.c.Order())
 }
 
 // PrefixOn computes all prefix sums of in on rt's network: out[i] =
 // in[0]+...+in[i], Algorithm 2 of the paper in 2n communication steps.
 func PrefixOn[T monoid.Number](rt *Runtime, in []T) ([]T, Stats, error) {
-	return prefix.DPrefix(rt.d.Order(), in, monoid.Sum[T](), true, nil)
+	return prefix.DPrefixOn(rt.c, in, monoid.Sum[T](), true, nil)
 }
 
 // PrefixFuncOn is PrefixOn under an arbitrary associative operation with
 // identity; combine is applied strictly in element order. Set inclusive to
 // false for the diminished prefix.
 func PrefixFuncOn[T any](rt *Runtime, in []T, identity func() T, combine func(a, b T) T, inclusive bool) ([]T, Stats, error) {
-	return prefix.DPrefix(rt.d.Order(), in, mono(identity, combine), inclusive, nil)
+	return prefix.DPrefixOn(rt.c, in, mono(identity, combine), inclusive, nil)
 }
 
 // PrefixDegradedOn is PrefixOn on a network degraded by plan's permanent
 // link faults; see PrefixDegraded.
 func PrefixDegradedOn[T monoid.Number](rt *Runtime, in []T, plan *FaultPlan) ([]T, Stats, error) {
-	return prefix.DPrefixDegraded(rt.d.Order(), in, monoid.Sum[T](), true, plan)
+	n, err := rt.dualOrder("PrefixDegraded")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return prefix.DPrefixDegraded(n, in, monoid.Sum[T](), true, plan)
 }
 
 // PrefixDegradedFuncOn is PrefixDegradedOn for an arbitrary monoid.
 func PrefixDegradedFuncOn[T any](rt *Runtime, in []T, identity func() T, combine func(a, b T) T, inclusive bool, plan *FaultPlan) ([]T, Stats, error) {
-	return prefix.DPrefixDegraded(rt.d.Order(), in, mono(identity, combine), inclusive, plan)
+	n, err := rt.dualOrder("PrefixDegradedFunc")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return prefix.DPrefixDegraded(n, in, mono(identity, combine), inclusive, plan)
 }
 
 // PrefixLargeOn computes prefix sums of an input with k elements per node.
 func PrefixLargeOn[T monoid.Number](rt *Runtime, k int, in []T) ([]T, Stats, error) {
-	return prefix.DPrefixLarge(rt.d.Order(), k, in, monoid.Sum[T](), true)
+	n, err := rt.dualOrder("PrefixLarge")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return prefix.DPrefixLarge(n, k, in, monoid.Sum[T](), true)
 }
 
 // PrefixLargeFuncOn is PrefixLargeOn for an arbitrary monoid.
 func PrefixLargeFuncOn[T any](rt *Runtime, k int, in []T, identity func() T, combine func(a, b T) T, inclusive bool) ([]T, Stats, error) {
-	return prefix.DPrefixLarge(rt.d.Order(), k, in, mono(identity, combine), inclusive)
+	n, err := rt.dualOrder("PrefixLargeFunc")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return prefix.DPrefixLarge(n, k, in, mono(identity, combine), inclusive)
 }
 
 // PrefixSegmentedOn computes the inclusive segmented prefix; see
 // PrefixSegmented.
 func PrefixSegmentedOn[T any](rt *Runtime, values []T, heads []bool, identity func() T, combine func(a, b T) T) ([]T, Stats, error) {
-	return prefix.DPrefixSegmented(rt.d.Order(), values, heads, mono(identity, combine))
+	n, err := rt.dualOrder("PrefixSegmented")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return prefix.DPrefixSegmented(n, values, heads, mono(identity, combine))
 }
 
 // SortOn sorts 2^(2n-1) ordered keys on rt's network with Algorithm 3.
 func SortOn[K cmp.Ordered](rt *Runtime, keys []K, ord Order) ([]K, Stats, error) {
-	return sortnet.DSort(rt.d.Order(), keys, func(a, b K) bool { return a < b }, ord, nil)
+	r, err := rt.recursive("Sort")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sortnet.DSortOn(r, keys, func(a, b K) bool { return a < b }, ord, nil)
 }
 
 // SortFuncOn sorts arbitrary records under a user comparison.
 func SortFuncOn[K any](rt *Runtime, keys []K, less func(a, b K) bool, ord Order) ([]K, Stats, error) {
-	return sortnet.DSort(rt.d.Order(), keys, less, ord, nil)
+	r, err := rt.recursive("SortFunc")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sortnet.DSortOn(r, keys, less, ord, nil)
 }
 
 // SortLargeOn sorts k·2^(2n-1) keys, k per node.
 func SortLargeOn[K cmp.Ordered](rt *Runtime, k int, keys []K, ord Order) ([]K, Stats, error) {
-	return sortnet.DSortLarge(rt.d.Order(), k, keys, func(a, b K) bool { return a < b }, ord)
+	n, err := rt.dualOrder("SortLarge")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sortnet.DSortLarge(n, k, keys, func(a, b K) bool { return a < b }, ord)
 }
 
 // SortLargeFuncOn is SortLargeOn with a user comparison.
 func SortLargeFuncOn[K any](rt *Runtime, k int, keys []K, less func(a, b K) bool, ord Order) ([]K, Stats, error) {
-	return sortnet.DSortLarge(rt.d.Order(), k, keys, less, ord)
+	n, err := rt.dualOrder("SortLargeFunc")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sortnet.DSortLarge(n, k, keys, less, ord)
 }
 
 // BroadcastOn delivers value from node root to every node in 2n steps.
 func BroadcastOn[T any](rt *Runtime, root int, value T) ([]T, Stats, error) {
-	return collective.Broadcast(rt.d.Order(), root, value)
+	return collective.BroadcastOn(rt.c, root, value)
 }
 
 // AllReduceOn combines all elements in order and delivers the total to
 // every node, in 2n steps.
 func AllReduceOn[T any](rt *Runtime, in []T, identity func() T, combine func(a, b T) T) ([]T, Stats, error) {
-	return collective.AllReduce(rt.d.Order(), in, mono(identity, combine))
+	return collective.AllReduceOn(rt.c, in, mono(identity, combine))
 }
 
 // AllReduceSumOn is AllReduceOn specialised to addition.
 func AllReduceSumOn[T monoid.Number](rt *Runtime, in []T) ([]T, Stats, error) {
-	return collective.AllReduce(rt.d.Order(), in, monoid.Sum[T]())
+	return collective.AllReduceOn(rt.c, in, monoid.Sum[T]())
 }
 
 // GatherOn collects every element to root in element order.
 func GatherOn[T any](rt *Runtime, root int, in []T) ([]T, Stats, error) {
-	return collective.Gather(rt.d.Order(), root, in)
+	n, err := rt.dualOrder("Gather")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return collective.Gather(n, root, in)
 }
 
 // ScatterOn distributes in (element order) from root.
 func ScatterOn[T any](rt *Runtime, root int, in []T) ([]T, Stats, error) {
-	return collective.Scatter(rt.d.Order(), root, in)
+	n, err := rt.dualOrder("Scatter")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return collective.Scatter(n, root, in)
 }
 
 // AllGatherOn delivers the whole element sequence to every node.
 func AllGatherOn[T any](rt *Runtime, in []T) ([][]T, Stats, error) {
-	return collective.AllGather(rt.d.Order(), in)
+	n, err := rt.dualOrder("AllGather")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return collective.AllGather(n, in)
 }
 
 // AllToAllOn performs the total exchange: out[j][i] = in[i][j].
 func AllToAllOn[T any](rt *Runtime, in [][]T) ([][]T, Stats, error) {
-	return collective.AllToAll(rt.d.Order(), in)
+	n, err := rt.dualOrder("AllToAll")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return collective.AllToAll(n, in)
 }
 
 // AllToAllVOn is the variable-size total exchange.
 func AllToAllVOn[T any](rt *Runtime, in [][][]T) ([][][]T, Stats, error) {
-	return collective.AllToAllV(rt.d.Order(), in)
+	n, err := rt.dualOrder("AllToAllV")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return collective.AllToAllV(n, in)
 }
 
 // ReduceScatterOn combines element-wise contributions and leaves each node
 // its own combined entry.
 func ReduceScatterOn[T any](rt *Runtime, in [][]T, identity func() T, combine func(a, b T) T) ([]T, Stats, error) {
-	return collective.ReduceScatter(rt.d.Order(), in, mono(identity, combine))
+	n, err := rt.dualOrder("ReduceScatter")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return collective.ReduceScatter(n, in, mono(identity, combine))
 }
 
 // PermuteOn routes values[i] to slot dests[i].
 func PermuteOn[T any](rt *Runtime, dests []int, values []T) ([]T, Stats, error) {
-	return sortnet.Permute(rt.d.Order(), dests, values)
+	n, err := rt.dualOrder("Permute")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sortnet.Permute(n, dests, values)
 }
 
 // SampleSortOn sorts k·2^(2n-1) keys by parallel sample sort.
 func SampleSortOn[K cmp.Ordered](rt *Runtime, k int, keys []K) ([]K, Stats, error) {
-	return samplesort.Sort(rt.d.Order(), k, keys, func(a, b K) bool { return a < b })
+	n, err := rt.dualOrder("SampleSort")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return samplesort.Sort(n, k, keys, func(a, b K) bool { return a < b })
 }
 
 // SampleSortFuncOn is SampleSortOn with a user comparison.
 func SampleSortFuncOn[K any](rt *Runtime, k int, keys []K, less func(a, b K) bool) ([]K, Stats, error) {
-	return samplesort.Sort(rt.d.Order(), k, keys, less)
+	n, err := rt.dualOrder("SampleSortFunc")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return samplesort.Sort(n, k, keys, less)
 }
 
 // NTTOn computes the 2^(2n-1)-point number-theoretic transform of coeffs,
 // or its inverse.
 func NTTOn(rt *Runtime, coeffs []uint64, invert bool) ([]uint64, Stats, error) {
-	return ntt.Transform(rt.d.Order(), coeffs, invert)
+	n, err := rt.dualOrder("NTT")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return ntt.Transform(n, coeffs, invert)
 }
 
 // PolyMulModOn multiplies two polynomials with coefficients mod 998244353.
 func PolyMulModOn(rt *Runtime, a, b []uint64) ([]uint64, Stats, error) {
-	return ntt.PolyMul(rt.d.Order(), a, b)
+	n, err := rt.dualOrder("PolyMulMod")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return ntt.PolyMul(n, a, b)
 }

@@ -107,6 +107,39 @@ var differentialWorkloads = []struct {
 	}},
 }
 
+// topologyWorkloads are the operations implemented generically over
+// topology.Comm — the subset of differentialWorkloads that accepts an
+// explicit Runtime, so the differential harness can aim it at any family.
+var topologyWorkloads = []struct {
+	name string
+	run  func(rt *Runtime) (any, Stats, error)
+}{
+	{"Prefix", func(rt *Runtime) (any, Stats, error) {
+		out, st, err := PrefixOn(rt, diffInput(rt.Order()))
+		return out, st, err
+	}},
+	{"PrefixDiminished", func(rt *Runtime) (any, Stats, error) {
+		out, st, err := PrefixFuncOn(rt, diffInput(rt.Order()), func() int { return 0 }, func(a, b int) int { return a + b }, false)
+		return out, st, err
+	}},
+	{"Sort", func(rt *Runtime) (any, Stats, error) {
+		out, st, err := SortOn(rt, diffInput(rt.Order()), Ascending)
+		return out, st, err
+	}},
+	{"SortDescending", func(rt *Runtime) (any, Stats, error) {
+		out, st, err := SortOn(rt, diffInput(rt.Order()), Descending)
+		return out, st, err
+	}},
+	{"Broadcast", func(rt *Runtime) (any, Stats, error) {
+		out, st, err := BroadcastOn(rt, 3, 42)
+		return out, st, err
+	}},
+	{"AllReduce", func(rt *Runtime) (any, Stats, error) {
+		out, st, err := AllReduceSumOn(rt, diffInput(rt.Order()))
+		return out, st, err
+	}},
+}
+
 func diffInput(n int) []int {
 	N := 1 << (2*n - 1)
 	rng := rand.New(rand.NewSource(int64(n) * 7))
@@ -122,6 +155,12 @@ func diffInput(n int) []int {
 // direct kernel executor — and requires bit-identical outputs and identical
 // cost statistics (Cycles, CommCycles, Messages, MaxOps, TotalOps): the
 // backends must be observationally equivalent, not merely all correct.
+//
+// The generic workloads then sweep every topology family. Per family the
+// same three-backend equivalence must hold, and every family must reproduce
+// the dual-cube run bit-for-bit — outputs AND Stats — because hypercube and
+// Z-cube schedules execute over the embedded D_n skeleton, so the dual-cube
+// is their oracle.
 func TestSchedulerDifferential(t *testing.T) {
 	defer SetSimScheduler(SchedulerDefault)
 	for _, w := range differentialWorkloads {
@@ -152,6 +191,60 @@ func TestSchedulerDifferential(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+
+	for _, w := range topologyWorkloads {
+		for n := 2; n <= 4; n++ {
+			// The dualcube family runs first (Families() order) and becomes
+			// the oracle the other families are pinned against.
+			var oracleOut any
+			var oracleStats Stats
+			for _, fam := range Families() {
+				t.Run(fmt.Sprintf("%s/%s/D_%d", w.name, fam, n), func(t *testing.T) {
+					rt, err := NewRuntimeOn(fam, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					SetSimScheduler(SchedulerWorkerPool)
+					poolOut, poolStats, poolErr := w.run(rt)
+					if poolErr != nil {
+						t.Fatalf("pool err = %v", poolErr)
+					}
+					for _, alt := range []struct {
+						name  string
+						sched Scheduler
+					}{
+						{"goroutine-per-node", SchedulerGoroutinePerNode},
+						{"direct", SchedulerDirect},
+					} {
+						SetSimScheduler(alt.sched)
+						out, st, err := w.run(rt)
+						if err != nil {
+							t.Fatalf("%s err = %v", alt.name, err)
+						}
+						if st != poolStats {
+							t.Errorf("stats diverge:\n  worker-pool: %+v\n  %s: %+v", poolStats, alt.name, st)
+						}
+						if !reflect.DeepEqual(out, poolOut) {
+							t.Errorf("outputs diverge between worker-pool and %s", alt.name)
+						}
+					}
+					if fam == "dualcube" {
+						oracleOut, oracleStats = poolOut, poolStats
+						return
+					}
+					if oracleOut == nil {
+						t.Fatal("dualcube oracle run missing")
+					}
+					if poolStats != oracleStats {
+						t.Errorf("stats diverge from the dual-cube oracle:\n  dualcube: %+v\n  %s: %+v", oracleStats, fam, poolStats)
+					}
+					if !reflect.DeepEqual(poolOut, oracleOut) {
+						t.Errorf("outputs diverge between dualcube and %s", fam)
+					}
+				})
+			}
 		}
 	}
 }
