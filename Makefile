@@ -12,6 +12,7 @@ build:
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dcvet ./...
+	$(GO) run ./cmd/dcvet -escgate
 	gofmt -l .
 
 test:

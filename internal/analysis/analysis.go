@@ -8,6 +8,8 @@ import (
 	"dualcube/internal/analysis/abortpanic"
 	"dualcube/internal/analysis/driver"
 	"dualcube/internal/analysis/faultpure"
+	"dualcube/internal/analysis/kernelpure"
+	"dualcube/internal/analysis/laneparity"
 	"dualcube/internal/analysis/nodebody"
 	"dualcube/internal/analysis/schedtopo"
 	"dualcube/internal/analysis/statsadd"
@@ -18,6 +20,8 @@ func All() []*driver.Analyzer {
 	return []*driver.Analyzer{
 		abortpanic.Analyzer,
 		faultpure.Analyzer,
+		kernelpure.Analyzer,
+		laneparity.Analyzer,
 		nodebody.Analyzer,
 		schedtopo.Analyzer,
 		statsadd.Analyzer,

@@ -69,9 +69,12 @@ type Diagnostic struct {
 }
 
 // String formats the diagnostic the way go vet does, with the analyzer name
-// appended for grep-ability.
+// appended for grep-ability and the exact suppression key spelled out — a
+// finding should never send its reader hunting through docs for the
+// directive syntax.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+	return fmt.Sprintf("%s: %s [%s] (suppress: %s %s -- <justification>)",
+		d.Position, d.Message, d.Analyzer, AllowDirective, d.Analyzer)
 }
 
 // AllowDirective is the comment prefix that suppresses a diagnostic on its

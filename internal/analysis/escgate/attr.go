@@ -1,0 +1,230 @@
+package escgate
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Attribution: compiler diagnostics arrive as file:line positions; the
+// budget speaks in function names. The index below maps every line of every
+// non-test source file to its enclosing top-level function (closures
+// attribute to the declaration that contains them) and records the line
+// spans of all for/range statements so a bounds check can be classified as
+// in-loop — the distinction that lets an inlined dc.Ops(1) bookkeeping
+// index outside the lane loop coexist with a zero in-loop budget.
+
+// Span is an inclusive line range.
+type Span struct {
+	Start, End int
+}
+
+func (s Span) contains(line int) bool { return s.Start <= line && line <= s.End }
+
+// FuncSpan is one top-level function with its loop line spans.
+type FuncSpan struct {
+	Name  string // qualified: "internal/prefix.(*lanePrefixKernel).Absorb"
+	Span  Span
+	Loops []Span
+}
+
+// Index maps module-relative file paths to their function spans.
+type Index struct {
+	files map[string][]FuncSpan
+	names map[string]bool
+}
+
+// BuildIndex parses every non-test .go file under root (skipping testdata
+// and hidden directories) and records function and loop spans. Functions in
+// the module root package are qualified with modPath itself; everything
+// else with its module-relative directory.
+func BuildIndex(root, modPath string) (*Index, error) {
+	ix := &Index{files: make(map[string][]FuncSpan), names: make(map[string]bool)}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		pkg := modPath
+		if dir := filepath.ToSlash(filepath.Dir(rel)); dir != "." {
+			pkg = dir
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fs := FuncSpan{
+				Name: pkg + "." + funcName(fd),
+				Span: Span{fset.Position(fd.Pos()).Line, fset.Position(fd.End()).Line},
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					fs.Loops = append(fs.Loops, Span{fset.Position(n.Pos()).Line, fset.Position(n.End()).Line})
+				}
+				return true
+			})
+			ix.files[rel] = append(ix.files[rel], fs)
+			ix.names[fs.Name] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// funcName renders a declaration as "(*T).M", "(T).M" or "F", with type
+// parameters stripped from generic receivers.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	ptr := false
+	if st, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = st.X
+	}
+	base := "?"
+	switch x := stripIndex(t).(type) {
+	case *ast.Ident:
+		base = x.Name
+	}
+	if ptr {
+		return "(*" + base + ")." + fd.Name.Name
+	}
+	return "(" + base + ")." + fd.Name.Name
+}
+
+func stripIndex(t ast.Expr) ast.Expr {
+	for {
+		switch x := t.(type) {
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		default:
+			return t
+		}
+	}
+}
+
+// Known reports whether a qualified function name exists in the source tree
+// — the rename guard for zero-listed and budgeted functions.
+func (ix *Index) Known(name string) bool { return ix.names[name] }
+
+// Counts aggregates diagnostics attributed to one function.
+type Counts struct {
+	Escapes    int `json:"escapes"`
+	Bounds     int `json:"bounds"`
+	LoopBounds int `json:"loopBounds"`
+}
+
+// Attribute buckets diagnostics by enclosing function. Diagnostics in files
+// or lines the index does not cover (generated code, test-only packages)
+// land under the empty key "".
+func Attribute(diags []Diag, ix *Index) map[string]*Counts {
+	counts := make(map[string]*Counts)
+	get := func(name string) *Counts {
+		c := counts[name]
+		if c == nil {
+			c = &Counts{}
+			counts[name] = c
+		}
+		return c
+	}
+	for _, d := range diags {
+		name := ""
+		var span *FuncSpan
+		for i := range ix.files[d.File] {
+			f := &ix.files[d.File][i]
+			if f.Span.contains(d.Line) {
+				name, span = f.Name, f
+				break
+			}
+		}
+		c := get(name)
+		switch d.Kind {
+		case KindEscape:
+			c.Escapes++
+		case KindBounds:
+			c.Bounds++
+			if span != nil {
+				for _, l := range span.Loops {
+					if l.contains(d.Line) {
+						c.LoopBounds++
+						break
+					}
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// Totals sums a count map.
+func Totals(counts map[string]*Counts) Counts {
+	var t Counts
+	for _, c := range counts {
+		t.Escapes += c.Escapes
+		t.Bounds += c.Bounds
+		t.LoopBounds += c.LoopBounds
+	}
+	return t
+}
+
+// FileEscapes counts heap escapes per file, descending — the worklist view.
+type FileEscapes struct {
+	File    string `json:"file"`
+	Escapes int    `json:"escapes"`
+}
+
+// TopEscapeFiles returns the n files with the most heap-escape sites.
+func TopEscapeFiles(diags []Diag, n int) []FileEscapes {
+	per := make(map[string]int)
+	for _, d := range diags {
+		if d.Kind == KindEscape {
+			per[d.File]++
+		}
+	}
+	out := make([]FileEscapes, 0, len(per))
+	for f, c := range per {
+		out = append(out, FileEscapes{File: f, Escapes: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Escapes != out[j].Escapes {
+			return out[i].Escapes > out[j].Escapes
+		}
+		return out[i].File < out[j].File
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package escgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FuncBudget is the diagnostic ceiling for one budgeted function.
+type FuncBudget struct {
+	Escapes    int `json:"escapes"`
+	Bounds     int `json:"bounds"`
+	LoopBounds int `json:"loopBounds"`
+}
+
+// VersionBudget is the gate for one Go minor version.
+type VersionBudget struct {
+	// Zero lists kernel hot-path functions that must show no heap escapes
+	// and no in-loop bounds checks at all.
+	Zero []string `json:"zero"`
+	// Budgets caps functions that legitimately allocate (bundle setup,
+	// serving entry points) at their recorded counts.
+	Budgets map[string]FuncBudget `json:"budgets"`
+}
+
+// Budget is the full checked-in budget file, keyed by Go minor ("1.24").
+type Budget map[string]VersionBudget
+
+// LoadBudget reads a budget file.
+func LoadBudget(path string) (Budget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("escgate: parsing %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// SaveBudget writes a budget file with stable formatting.
+func SaveBudget(path string, b Budget) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Check evaluates attributed counts against the budget for goMinor. known
+// guards against silent passes after renames: a zero-listed or budgeted
+// function that no longer exists is a failure, not a vacuous success.
+// Failures fail the gate; notices are informational (version skips,
+// improvements worth re-baselining).
+func (b Budget) Check(goMinor string, counts map[string]*Counts, known func(string) bool) (failures, notices []string) {
+	vb, ok := b[goMinor]
+	if !ok {
+		return nil, []string{fmt.Sprintf(
+			"no escape budget recorded for go %s; skipping gate (inspect and run dcvet -escgate -update to baseline)", goMinor)}
+	}
+	for _, fn := range vb.Zero {
+		if !known(fn) {
+			failures = append(failures, fmt.Sprintf("zero-listed function %s not found in source (renamed? update %s)", fn, budgetName))
+			continue
+		}
+		c := counts[fn]
+		if c == nil {
+			continue
+		}
+		if c.Escapes > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %d heap escape(s), zero-listed kernel hot path must not allocate", fn, c.Escapes))
+		}
+		if c.LoopBounds > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %d in-loop bounds check(s), zero-listed kernel hot path must be BCE-clean", fn, c.LoopBounds))
+		}
+	}
+	names := make([]string, 0, len(vb.Budgets))
+	for fn := range vb.Budgets {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+	for _, fn := range names {
+		want := vb.Budgets[fn]
+		if !known(fn) {
+			failures = append(failures, fmt.Sprintf("budgeted function %s not found in source (renamed? update %s)", fn, budgetName))
+			continue
+		}
+		got := counts[fn]
+		if got == nil {
+			got = &Counts{}
+		}
+		over := func(what string, g, w int) {
+			if g > w {
+				failures = append(failures, fmt.Sprintf("%s: %d %s, budget is %d — new compiler-visible cost on a tracked function", fn, g, what, w))
+			} else if g < w {
+				notices = append(notices, fmt.Sprintf("%s: %d %s, under budget %d (dcvet -escgate -update to tighten)", fn, g, what, w))
+			}
+		}
+		over("heap escape(s)", got.Escapes, want.Escapes)
+		over("bounds check(s)", got.Bounds, want.Bounds)
+		over("in-loop bounds check(s)", got.LoopBounds, want.LoopBounds)
+	}
+	return failures, notices
+}
+
+// Update rewrites the budgeted ceilings for goMinor to the attributed
+// actuals, creating the version entry (with an empty zero list) if absent.
+// The zero list itself is never touched: a zero-list violation must be
+// fixed in the kernel, not blessed into the budget. Reports whether
+// anything changed.
+func (b Budget) Update(goMinor string, counts map[string]*Counts) bool {
+	vb, ok := b[goMinor]
+	if !ok {
+		// Seed a new version from the newest existing entry's tracked set so
+		// a toolchain bump re-baselines the same functions.
+		var src string
+		for v := range b {
+			if v > src {
+				src = v
+			}
+		}
+		vb = VersionBudget{Budgets: make(map[string]FuncBudget)}
+		if src != "" {
+			vb.Zero = append(vb.Zero, b[src].Zero...)
+			for fn := range b[src].Budgets {
+				vb.Budgets[fn] = FuncBudget{}
+			}
+		}
+		b[goMinor] = vb
+		ok = false
+	}
+	changed := !ok
+	for fn, old := range vb.Budgets {
+		got := counts[fn]
+		if got == nil {
+			got = &Counts{}
+		}
+		now := FuncBudget{Escapes: got.Escapes, Bounds: got.Bounds, LoopBounds: got.LoopBounds}
+		if now != old {
+			vb.Budgets[fn] = now
+			changed = true
+		}
+	}
+	return changed
+}
+
+// budgetName is the canonical budget file location, relative to the module
+// root.
+const budgetName = "internal/analysis/escgate/testdata/escbudget.json"
+
+// BudgetPath returns the budget file path under the module root.
+func BudgetPath(root string) string { return root + "/" + budgetName }

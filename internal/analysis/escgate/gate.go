@@ -1,0 +1,50 @@
+package escgate
+
+import "fmt"
+
+// Options configures a gate run.
+type Options struct {
+	// Update rewrites the budgeted ceilings to the measured actuals before
+	// checking (zero-list violations are still reported — they cannot be
+	// blessed into the budget).
+	Update bool
+}
+
+// Result is one full gate evaluation.
+type Result struct {
+	Report   *Report
+	Failures []string
+	Notices  []string
+	Updated  bool // budget file rewritten by -update
+}
+
+// Run executes the whole gate against the module at root: rebuild with
+// diagnostics, attribute, load the budget, optionally re-baseline, check.
+func Run(root, modPath string, opts Options) (*Result, error) {
+	diags, err := Collect(root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := BuildIndex(root, modPath)
+	if err != nil {
+		return nil, fmt.Errorf("escgate: indexing sources: %v", err)
+	}
+	counts := Attribute(diags, ix)
+	b, err := LoadBudget(BudgetPath(root))
+	if err != nil {
+		return nil, fmt.Errorf("escgate: loading budget: %v", err)
+	}
+	res := &Result{}
+	minor := GoMinor()
+	if opts.Update {
+		if b.Update(minor, counts) {
+			if err := SaveBudget(BudgetPath(root), b); err != nil {
+				return nil, fmt.Errorf("escgate: writing budget: %v", err)
+			}
+			res.Updated = true
+		}
+	}
+	res.Failures, res.Notices = b.Check(minor, counts, ix.Known)
+	res.Report = BuildReport(minor, diags, counts, b, res.Failures, res.Notices)
+	return res, nil
+}

@@ -1,0 +1,12 @@
+package kernelpure_test
+
+import (
+	"testing"
+
+	"dualcube/internal/analysis/analysistest"
+	"dualcube/internal/analysis/kernelpure"
+)
+
+func TestKernelPure(t *testing.T) {
+	analysistest.Run(t, kernelpure.Analyzer, "testdata/src/kern")
+}

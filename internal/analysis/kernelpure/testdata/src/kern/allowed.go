@@ -1,0 +1,37 @@
+package fixture
+
+import (
+	"fmt"
+
+	"dualcube/internal/machine"
+)
+
+// allowedKernel exercises the suppression surface on a second file of the
+// same package (multi-file coverage): each violation below carries a
+// "//dcvet:allow kernelpure -- <why>" directive, trailing the statement or on
+// the line above it, and must NOT be reported. The final method mixes an
+// allowed line with a live violation to prove suppression is line-scoped.
+type allowedKernel struct {
+	bufs [][]int
+	errs []error
+}
+
+func (ak *allowedKernel) Produce(dc *machine.DirectCtx, step, u int) (machine.DirectRole, []int) {
+	//dcvet:allow kernelpure -- variable-size bundle pending the zero-alloc payload plane
+	buf := make([]int, 0, 8)
+	buf = append(buf, u) //dcvet:allow kernelpure -- growth is bounded by the bundle size
+	return machine.DirectSend, buf
+}
+
+func (ak *allowedKernel) Absorb(dc *machine.DirectCtx, step, u int, v []int) {
+	ak.bufs[u] = append(ak.bufs[u], v...) //dcvet:allow kernelpure -- merge buffer, budgeted by escgate
+}
+
+func (ak *allowedKernel) Local(dc *machine.DirectCtx, step, u int) {
+	if len(ak.bufs[u]) == 0 {
+		//dcvet:allow kernelpure -- protocol error path, fires at most once per run
+		ak.errs[u] = fmt.Errorf("node %d got no bundle", u)
+	}
+	other := fmt.Sprintf("node %d", u) // want `kernel body calls fmt\.Sprintf`
+	_ = other
+}

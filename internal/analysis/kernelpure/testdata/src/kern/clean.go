@@ -1,0 +1,44 @@
+package fixture
+
+import "dualcube/internal/machine"
+
+// cleanKernel is the shape the checker wants: all state preallocated by the
+// constructor, the body only indexing flat arrays and calling dc.Ops. None of
+// this is reported.
+type cleanKernel struct {
+	less func(a, b int) bool // hoisted here, not defined in the body
+	keys []int
+	t    []int
+	snap func(step int, keys []int)
+}
+
+func (ck *cleanKernel) Produce(dc *machine.DirectCtx, step, u int) (machine.DirectRole, int) {
+	if step == 0 {
+		ck.t[u] = ck.keys[u]
+	}
+	return machine.DirectExchange, ck.t[u]
+}
+
+func (ck *cleanKernel) Absorb(dc *machine.DirectCtx, step, u int, v int) {
+	key := ck.t[u]
+	if ck.less(v, key) {
+		key = v
+	}
+	ck.t[u] = key
+	dc.Ops(1)
+	if ck.snap != nil {
+		ck.snap(step, ck.keys)
+	}
+}
+
+func (ck *cleanKernel) Local(dc *machine.DirectCtx, step, u int) {
+	ck.keys[u] = ck.t[u]
+}
+
+// Implicit boxing — assigning a concrete value to an interface-typed
+// variable without a conversion expression — is a known blind spot: only
+// explicit conversions like any(x) are reported. escgate catches the escape.
+func implicitBoxBlindSpot(dc *machine.DirectCtx, u int) {
+	var sink any = u
+	_ = sink
+}

@@ -1,0 +1,59 @@
+// Fixture for the kernelpure analyzer: every allocating or nondeterministic
+// construct inside a *machine.DirectCtx kernel body is flagged.
+package fixture
+
+import (
+	"fmt"
+	"time"
+
+	"dualcube/internal/machine"
+)
+
+var runCounter int
+
+type impureKernel struct {
+	state []int
+	seen  map[int]bool
+	bufs  [][]int
+	note  string
+}
+
+func (k *impureKernel) Produce(dc *machine.DirectCtx, step, u int) (machine.DirectRole, []int) {
+	buf := make([]int, 4)         // want `kernel body allocates with make`
+	buf = append(buf, k.state[u]) // want `kernel body grows a slice with append`
+	extra := []int{u, step}       // want `kernel body allocates a slice literal`
+	_ = extra
+	p := new(int) // want `kernel body allocates with new`
+	_ = p
+	return machine.DirectExchange, buf
+}
+
+func (k *impureKernel) Absorb(dc *machine.DirectCtx, step, u int, v []int) {
+	if k.seen[u] { // want `kernel body indexes a map`
+		return
+	}
+	for key := range k.seen { // want `kernel body ranges over a map`
+		_ = key
+	}
+	delete(k.seen, u)                           // want `kernel body deletes from a map`
+	k.note = k.note + "step"                    // want `kernel body concatenates strings`
+	k.note += "!"                               // want `kernel body concatenates strings`
+	runCounter++                                // want `kernel body writes package-level variable runCounter`
+	cmp := func(a, b int) bool { return a < b } // want `kernel body defines a closure`
+	_ = cmp
+	k.state[u] += v[0]
+	dc.Ops(1)
+}
+
+func (k *impureKernel) Local(dc *machine.DirectCtx, step, u int) {
+	err := fmt.Errorf("node %d odd state", u) // want `kernel body calls fmt\.Errorf`
+	_ = err
+	now := time.Now() // want `kernel body calls time\.Now`
+	_ = now
+	ifc := any(u) // want `kernel body converts a value to an interface`
+	_ = ifc
+	go func() { runCounter = 0 }() // want `kernel body spawns a goroutine` `kernel body defines a closure`
+	ch := make(chan int, 1)        // want `kernel body allocates with make`
+	ch <- u                        // want `kernel body sends on a channel`
+	<-ch                           // want `kernel body receives from a channel`
+}

@@ -1,0 +1,12 @@
+package laneparity_test
+
+import (
+	"testing"
+
+	"dualcube/internal/analysis/analysistest"
+	"dualcube/internal/analysis/laneparity"
+)
+
+func TestLaneParityFixture(t *testing.T) {
+	analysistest.Run(t, laneparity.Analyzer, "testdata/src/lanefix")
+}

@@ -1,0 +1,531 @@
+package laneparity
+
+// This file is the normalization engine: it lowers a kernel method body into
+// a canonical sequence of guarded effects and returns, erasing exactly the
+// differences lane widening introduces (see the package comment). The
+// printer is deliberately fully parenthesized so textual equality is
+// structural equality.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dualcube/internal/analysis/driver"
+)
+
+// guardInfo is one condition on the path to an effect: its canonical text
+// and whether the path takes its then (positive) or else branch.
+type guardInfo struct {
+	text     string
+	positive bool
+}
+
+// effect is one canonical mutating statement (assignment, Ops call, other
+// call) under its guard stack.
+type effect struct {
+	guards []guardInfo
+	text   string
+	pos    token.Pos
+}
+
+// retInfo is one (role, payload) return. guard is the innermost positive
+// guard ("ELSE" when the path is all negations), used by the merged payload
+// comparison; guards is the full stack, used by the roles comparison.
+type retInfo struct {
+	guard  string
+	guards []guardInfo
+	role   string
+	val    string
+	pos    token.Pos
+}
+
+// stagedCopy records copy(ROW, X): a payload staged for the following
+// return of ROW.
+type stagedCopy struct {
+	guard  string
+	guards []guardInfo
+	val    string
+	pos    token.Pos
+}
+
+type normBody struct {
+	effects []effect
+	rets    []retInfo
+	staged  []stagedCopy
+}
+
+// normCtx carries one normalization run.
+type normCtx struct {
+	pass     *driver.Pass
+	fieldMap map[string]string
+	out      *normBody
+}
+
+// env maps local objects (receiver, params, := aliases) to canonical text.
+type env map[types.Object]string
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// normalize lowers fd's body. fieldMap renames receiver fields (lane side).
+func normalize(pass *driver.Pass, fd *ast.FuncDecl, fieldMap map[string]string) *normBody {
+	nc := &normCtx{pass: pass, fieldMap: fieldMap, out: &normBody{}}
+	ev := make(env)
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if obj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			ev[obj] = "R"
+		}
+	}
+	// Positional param mapping: [dc,] step, u [, v]. The DirectCtx param is
+	// recognized by type so role ladders without it (role(step, u)) line up.
+	idx := 0
+	names := []string{"STEP", "U", "V"}
+	for _, field := range fd.Type.Params.List {
+		isCtx := false
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok {
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr && driver.IsNamed(tv.Type, "internal/machine", "DirectCtx") {
+				isCtx = true
+			}
+		}
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isCtx {
+				ev[obj] = "DC"
+				continue
+			}
+			if idx < len(names) {
+				ev[obj] = names[idx]
+				idx++
+			}
+		}
+	}
+	if fd.Body != nil {
+		nc.walkStmts(fd.Body.List, nil, ev)
+	}
+	return nc.out
+}
+
+// ---------------------------------------------------------------------------
+// Statement walking
+
+func (nc *normCtx) walkStmts(stmts []ast.Stmt, guards []guardInfo, ev env) {
+	for i, s := range stmts {
+		switch st := s.(type) {
+		case *ast.ReturnStmt:
+			if len(st.Results) == 0 {
+				return // bare return: terminates this path
+			}
+			nc.recordReturn(st, guards, ev)
+			return // anything after a return in this list is dead
+		case *ast.IfStmt:
+			// Guard-only early return: `if cond { [stmts;] return }` with no
+			// else inverts into a guard over the remaining statements.
+			if st.Else == nil && endsWithBareReturn(st.Body) {
+				ev2 := ev.clone()
+				pos, neg := nc.guardPair(st, ev2)
+				body := st.Body.List[:len(st.Body.List)-1]
+				nc.walkStmts(body, append(cloneGuards(guards), pos), ev2)
+				nc.walkStmts(stmts[i+1:], append(cloneGuards(guards), neg), ev2.clone())
+				return
+			}
+			nc.walkIf(st, guards, ev)
+		case *ast.SwitchStmt:
+			nc.walkSwitch(st, guards, ev)
+		case *ast.AssignStmt:
+			nc.walkAssign(st, guards, ev)
+		case *ast.IncDecStmt:
+			op := "+ 1"
+			if st.Tok == token.DEC {
+				op = "- 1"
+			}
+			t := nc.print(st.X, ev)
+			nc.emit(guards, t+" = ("+t+" "+op+")", st.Pos())
+		case *ast.ExprStmt:
+			nc.walkCall(st.X, guards, ev)
+		case *ast.ForStmt:
+			if isLaneLoop(st) {
+				ev2 := ev.clone()
+				nc.walkStmts(st.Body.List, guards, ev2)
+				break
+			}
+			// Non-lane loops are kept transparently: the body's effects must
+			// still mirror (largeKernel-style chunk loops are not paired).
+			ev2 := ev.clone()
+			if st.Init != nil {
+				if as, ok := st.Init.(*ast.AssignStmt); ok {
+					nc.walkAssign(as, guards, ev2)
+				}
+			}
+			nc.walkStmts(st.Body.List, guards, ev2)
+		case *ast.RangeStmt:
+			// Lane loop over a state row: `for l, kv := range row`. kv
+			// aliases row[l], which erases to the row itself.
+			ev2 := ev.clone()
+			rowText := nc.print(st.X, ev2)
+			if st.Value != nil {
+				if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+					if obj := nc.pass.TypesInfo.Defs[id]; obj != nil {
+						ev2[obj] = rowText
+					}
+				}
+			}
+			nc.walkStmts(st.Body.List, guards, ev2)
+		case *ast.BlockStmt:
+			nc.walkStmts(st.List, guards, ev.clone())
+		case *ast.DeclStmt:
+			// Local var decls without values introduce zero-value locals
+			// (var send []P); print their uses by name.
+		default:
+			nc.emit(guards, "?unsupported-stmt", s.Pos())
+		}
+	}
+}
+
+func endsWithBareReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	r, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok && len(r.Results) == 0
+}
+
+// guardPair resolves an if statement's init (e.g. `if i := k - mdim - 1;`)
+// into ev and returns the canonical guard for its then and else branches.
+// Negation folds into the comparison operator where possible, so a lane
+// kernel's inverted early return (`if class != 1 { return }`) and the
+// single-lane positive guard (`if class == 1 { ... }`) print identically;
+// the positive flag still records the branch polarity, which the payload
+// merge (ELSE detection) and the orientation check depend on.
+func (nc *normCtx) guardPair(st *ast.IfStmt, ev env) (pos, neg guardInfo) {
+	if st.Init != nil {
+		if as, ok := st.Init.(*ast.AssignStmt); ok {
+			nc.bindAliases(as, ev)
+		}
+	}
+	return nc.condGuards(st.Cond, ev)
+}
+
+// flipped maps each comparison operator to its negation.
+var flipped = map[token.Token]string{
+	token.EQL: "!=", token.NEQ: "==",
+	token.LSS: ">=", token.GEQ: "<",
+	token.GTR: "<=", token.LEQ: ">",
+}
+
+func (nc *normCtx) condGuards(cond ast.Expr, ev env) (pos, neg guardInfo) {
+	text := nc.print(cond, ev)
+	pos = guardInfo{text: text, positive: true}
+	for {
+		if p, ok := cond.(*ast.ParenExpr); ok {
+			cond = p.X
+			continue
+		}
+		break
+	}
+	switch x := cond.(type) {
+	case *ast.BinaryExpr:
+		if op, ok := flipped[x.Op]; ok {
+			neg = guardInfo{text: "(" + nc.print(x.X, ev) + " " + op + " " + nc.print(x.Y, ev) + ")", positive: false}
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			neg = guardInfo{text: nc.print(x.X, ev), positive: false}
+			return
+		}
+	}
+	neg = guardInfo{text: "!(" + text + ")", positive: false}
+	return
+}
+
+func (nc *normCtx) walkIf(st *ast.IfStmt, guards []guardInfo, ev env) {
+	ev2 := ev.clone()
+	pos, neg := nc.guardPair(st, ev2)
+	nc.walkStmts(st.Body.List, append(cloneGuards(guards), pos), ev2.clone())
+	if st.Else != nil {
+		negs := append(cloneGuards(guards), neg)
+		switch el := st.Else.(type) {
+		case *ast.BlockStmt:
+			nc.walkStmts(el.List, negs, ev2.clone())
+		case *ast.IfStmt:
+			nc.walkStmts([]ast.Stmt{el}, negs, ev2.clone())
+		}
+	}
+}
+
+func (nc *normCtx) walkSwitch(st *ast.SwitchStmt, guards []guardInfo, ev env) {
+	if st.Tag != nil || st.Init != nil {
+		nc.emit(guards, "?tagged-switch", st.Pos())
+		return
+	}
+	negs := cloneGuards(guards)
+	var defaultBody []ast.Stmt
+	for _, cl := range st.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultBody = cc.Body
+			continue
+		}
+		if len(cc.List) == 1 {
+			// Canonicalize through condGuards so a switch arm and an if/else-if
+			// chain produce identical guard stacks.
+			pos, neg := nc.condGuards(cc.List[0], ev)
+			nc.walkStmts(cc.Body, append(cloneGuards(negs), pos), ev.clone())
+			negs = append(negs, neg)
+			continue
+		}
+		// Multi-expression cases (case a, b:) become one OR guard.
+		conds := make([]string, len(cc.List))
+		for i, e := range cc.List {
+			conds[i] = nc.print(e, ev)
+		}
+		cond := "(" + strings.Join(conds, " || ") + ")"
+		nc.walkStmts(cc.Body, append(cloneGuards(negs), guardInfo{cond, true}), ev.clone())
+		negs = append(negs, guardInfo{"!" + cond, false})
+	}
+	if defaultBody != nil {
+		nc.walkStmts(defaultBody, negs, ev.clone())
+	}
+}
+
+// bindAliases records `x := expr` (including tuple forms) as substitutions.
+func (nc *normCtx) bindAliases(as *ast.AssignStmt, ev env) bool {
+	if as.Tok != token.DEFINE {
+		return false
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			text := nc.print(as.Rhs[i], ev)
+			if id.Name == "_" {
+				continue
+			}
+			if obj := nc.pass.TypesInfo.Defs[id]; obj != nil {
+				ev[obj] = text
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (nc *normCtx) walkAssign(as *ast.AssignStmt, guards []guardInfo, ev env) {
+	if as.Tok == token.DEFINE {
+		if nc.bindAliases(as, ev) {
+			return
+		}
+		nc.emit(guards, "?tuple-define", as.Pos())
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		nc.emit(guards, "?tuple-assign", as.Pos())
+		return
+	}
+	for i := range as.Lhs {
+		lhs := nc.print(as.Lhs[i], ev)
+		rhs := nc.print(as.Rhs[i], ev)
+		if as.Tok != token.ASSIGN {
+			// Compound assignment: x op= y prints as x = (x op y).
+			op := strings.TrimSuffix(as.Tok.String(), "=")
+			rhs = "(" + lhs + " " + op + " " + rhs + ")"
+		}
+		if lhs == rhs {
+			continue // self-assignment after erasure (ek.key[u] = key)
+		}
+		nc.emit(guards, lhs+" = "+rhs, as.Pos())
+	}
+}
+
+// walkCall lowers an expression statement: Ops accounting, trace hooks,
+// copy-as-assignment, payload staging.
+func (nc *normCtx) walkCall(e ast.Expr, guards []guardInfo, ev env) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		nc.emit(guards, "?expr-stmt", e.Pos())
+		return
+	}
+	fun := nc.print(call.Fun, ev)
+	if fun == "R.snap" || fun == "R.snaps" {
+		return // per-kernel trace hook, single-lane only by design
+	}
+	if fun == "copy" && len(call.Args) == 2 {
+		dst := nc.print(call.Args[0], ev)
+		src := nc.print(call.Args[1], ev)
+		if dst == "ROW" {
+			nc.out.staged = append(nc.out.staged, stagedCopy{
+				guard: innermostPositive(guards), guards: cloneGuards(guards), val: src, pos: call.Pos(),
+			})
+			return
+		}
+		if dst == src {
+			return
+		}
+		nc.emit(guards, dst+" = "+src, call.Pos())
+		return
+	}
+	args := make([]string, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = nc.print(a, ev)
+	}
+	nc.emit(guards, fun+"("+strings.Join(args, ", ")+")", call.Pos())
+}
+
+func (nc *normCtx) recordReturn(st *ast.ReturnStmt, guards []guardInfo, ev env) {
+	if len(st.Results) == 1 {
+		nc.out.rets = append(nc.out.rets, retInfo{
+			guard: innermostPositive(guards), guards: cloneGuards(guards),
+			role: nc.print(st.Results[0], ev), pos: st.Pos(),
+		})
+		return
+	}
+	if len(st.Results) != 2 {
+		nc.emit(guards, "?return", st.Pos())
+		return
+	}
+	role := nc.print(st.Results[0], ev)
+	val := nc.print(st.Results[1], ev)
+	if val == "ROW" {
+		// The staged copies are the real payload arms.
+		for _, sc := range nc.out.staged {
+			nc.out.rets = append(nc.out.rets, retInfo{
+				guard: sc.guard, guards: sc.guards, role: role, val: sc.val, pos: sc.pos,
+			})
+		}
+		if len(nc.out.staged) == 0 {
+			nc.out.rets = append(nc.out.rets, retInfo{
+				guard: innermostPositive(guards), guards: cloneGuards(guards), role: role, val: "ROW", pos: st.Pos(),
+			})
+		}
+		nc.out.staged = nil
+		return
+	}
+	nc.out.rets = append(nc.out.rets, retInfo{
+		guard: innermostPositive(guards), guards: cloneGuards(guards), role: role, val: val, pos: st.Pos(),
+	})
+}
+
+func (nc *normCtx) emit(guards []guardInfo, text string, pos token.Pos) {
+	nc.out.effects = append(nc.out.effects, effect{guards: cloneGuards(guards), text: text, pos: pos})
+}
+
+func cloneGuards(gs []guardInfo) []guardInfo {
+	return append([]guardInfo(nil), gs...)
+}
+
+func innermostPositive(gs []guardInfo) string {
+	for i := len(gs) - 1; i >= 0; i-- {
+		if gs[i].positive {
+			return gs[i].text
+		}
+	}
+	return "ELSE"
+}
+
+// isLaneLoop matches `for l := 0; l < k; l++`.
+func isLaneLoop(st *ast.ForStmt) bool {
+	init, ok := st.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return false
+	}
+	if lit, ok := init.Rhs[0].(*ast.BasicLit); !ok || lit.Value != "0" {
+		return false
+	}
+	cond, ok := st.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return false
+	}
+	post, ok := st.Post.(*ast.IncDecStmt)
+	return ok && post.Tok == token.INC
+}
+
+// ---------------------------------------------------------------------------
+// Expression printing
+
+// print renders e in canonical form: receiver R, positional params, aliases
+// inlined, state indexing erased, lanes.Row staging as ROW. The output is
+// fully parenthesized so equal text means equal structure.
+func (nc *normCtx) print(e ast.Expr, ev env) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := nc.pass.TypesInfo.ObjectOf(x); obj != nil {
+			if t, ok := ev[obj]; ok {
+				return t
+			}
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		base := nc.print(x.X, ev)
+		name := x.Sel.Name
+		if base == "R" && nc.fieldMap != nil {
+			if mapped, ok := nc.fieldMap[name]; ok {
+				name = mapped
+			}
+		}
+		return base + "." + name
+	case *ast.IndexExpr:
+		base := nc.print(x.X, ev)
+		if erasable(base) {
+			return base
+		}
+		return base + "[" + nc.print(x.Index, ev) + "]"
+	case *ast.IndexListExpr:
+		return nc.print(x.X, ev)
+	case *ast.SliceExpr:
+		base := nc.print(x.X, ev)
+		if erasable(base) {
+			return base
+		}
+		return base + "[...]"
+	case *ast.CallExpr:
+		fun := nc.print(x.Fun, ev)
+		if fun == "R.lanes.Row" {
+			return "ROW"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = nc.print(a, ev)
+		}
+		return fun + "(" + strings.Join(args, ", ") + ")"
+	case *ast.BinaryExpr:
+		return "(" + nc.print(x.X, ev) + " " + x.Op.String() + " " + nc.print(x.Y, ev) + ")"
+	case *ast.UnaryExpr:
+		return "(" + x.Op.String() + nc.print(x.X, ev) + ")"
+	case *ast.ParenExpr:
+		return nc.print(x.X, ev)
+	case *ast.StarExpr:
+		return "(*" + nc.print(x.X, ev) + ")"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CompositeLit:
+		return "?composite"
+	case *ast.FuncLit:
+		return "?funclit"
+	case *ast.TypeAssertExpr:
+		return nc.print(x.X, ev) + ".(?)"
+	}
+	return "?expr"
+}
+
+// erasable reports whether indexing/slicing base should erase to base: all
+// kernel state (receiver fields), the payload V and the staging ROW. A
+// lane-widened row access (R.t[U*K:(U+1)*K][l]) and the single-lane element
+// access (R.t[U]) both erase to R.t — the lane widening itself.
+func erasable(base string) bool {
+	return base == "V" || base == "ROW" || base == "R" || strings.HasPrefix(base, "R.")
+}

@@ -1,0 +1,29 @@
+// The suppressed pair: laneOkKernel carries a justified divergence (swapped
+// combine order) annotated with //dcvet:allow laneparity, so the analyzer
+// must stay silent — no want comments in this file.
+package lanefix
+
+import "dualcube/internal/machine"
+
+type okKernel struct {
+	combine func(a, b int) int
+	out     []int
+}
+
+func (ok *okKernel) Absorb(dc *machine.DirectCtx, k, u, v int) {
+	ok.out[u] = ok.combine(v, ok.out[u])
+	dc.Ops(1)
+}
+
+type laneOkKernel struct {
+	combine func(a, b int) int
+	k       int
+	res     [][]int
+}
+
+func (lk *laneOkKernel) Absorb(dc *machine.DirectCtx, step, u int, v []int) {
+	for l := 0; l < lk.k; l++ {
+		lk.res[u][l] = lk.combine(lk.res[u][l], v[l]) //dcvet:allow laneparity -- fixture: combine is commutative here, the order swap is deliberate
+	}
+	dc.Ops(1)
+}

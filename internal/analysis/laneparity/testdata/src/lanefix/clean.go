@@ -1,0 +1,112 @@
+// Package lanefix is the laneparity golden fixture: miniature kernel sibling
+// pairs registered in the analyzer's pairs table under the "/lanefix" suffix.
+// This file is the clean pair — a faithful lane mirror that must produce no
+// diagnostics even though the two sides differ in exactly the ways
+// normalization is meant to erase: parameter names, := aliases, node-major
+// vs element-major indexing, lanes.Row payload staging, per-lane loops,
+// copy-as-assignment, trace hooks, and an inverted early-return guard.
+package lanefix
+
+import "dualcube/internal/machine"
+
+type miniKernel struct {
+	combine func(a, b int) int
+	mdim    int
+	in, out []int
+	t, s2   []int
+}
+
+func (mk *miniKernel) snap(step, u, v int) {}
+
+func (mk *miniKernel) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, int) {
+	if k == 0 {
+		mk.t[u] = mk.in[u]
+	}
+	mk.snap(k, u, mk.t[u])
+	if k == 2*mk.mdim+1 {
+		return machine.DirectExchange, mk.s2[u]
+	}
+	return machine.DirectExchange, mk.t[u]
+}
+
+func (mk *miniKernel) Absorb(dc *machine.DirectCtx, k, u, v int) {
+	switch {
+	case k < mk.mdim:
+		if u&(1<<k) != 0 {
+			mk.out[u] = mk.combine(v, mk.out[u])
+		}
+		mk.t[u] = mk.combine(mk.t[u], v)
+		dc.Ops(2)
+	case k == mk.mdim:
+		mk.t[u] = v
+	default:
+		mk.out[u] = mk.combine(v, mk.out[u])
+		dc.Ops(1)
+	}
+}
+
+func (mk *miniKernel) Local(dc *machine.DirectCtx, k, u int) {
+	if u&1 == 1 {
+		mk.out[u] = mk.combine(mk.t[u], mk.out[u])
+		dc.Ops(1)
+	}
+}
+
+// laneMiniKernel is the k-lane widening of miniKernel: node-major flat rows
+// for t/s2/in, per-node result vectors in res (the registry's fieldMap binds
+// res to the single-lane out), and payload staging through machine.Lanes.
+type laneMiniKernel struct {
+	combine func(a, b int) int
+	mdim, k int
+	lanes   *machine.Lanes[int]
+	in      []int
+	res     [][]int
+	t, s2   []int
+}
+
+func (lk *laneMiniKernel) Produce(dc *machine.DirectCtx, step, u int) (machine.DirectRole, []int) {
+	if step == 0 {
+		copy(lk.t[u*lk.k:(u+1)*lk.k], lk.in[u*lk.k:(u+1)*lk.k])
+	}
+	row := lk.lanes.Row(step, u)[:lk.k]
+	if step == 2*lk.mdim+1 {
+		copy(row, lk.s2[u*lk.k:(u+1)*lk.k])
+	} else {
+		copy(row, lk.t[u*lk.k:(u+1)*lk.k])
+	}
+	return machine.DirectExchange, row
+}
+
+func (lk *laneMiniKernel) Absorb(dc *machine.DirectCtx, step, u int, v []int) {
+	t := lk.t[u*lk.k : (u+1)*lk.k]
+	switch {
+	case step < lk.mdim:
+		if u&(1<<step) != 0 {
+			for l := 0; l < lk.k; l++ {
+				lk.res[u][l] = lk.combine(v[l], lk.res[u][l])
+			}
+		}
+		for l := 0; l < lk.k; l++ {
+			t[l] = lk.combine(t[l], v[l])
+		}
+		dc.Ops(2)
+	case step == lk.mdim:
+		copy(t, v)
+	default:
+		for l := 0; l < lk.k; l++ {
+			lk.res[u][l] = lk.combine(v[l], lk.res[u][l])
+		}
+		dc.Ops(1)
+	}
+}
+
+func (lk *laneMiniKernel) Local(dc *machine.DirectCtx, step, u int) {
+	if u&1 != 1 {
+		return
+	}
+	t := lk.t[u*lk.k : (u+1)*lk.k]
+	for l := 0; l < lk.k; l++ {
+		lk.res[u][l] = lk.combine(t[l], lk.res[u][l])
+	}
+	dc.Ops(1)
+}

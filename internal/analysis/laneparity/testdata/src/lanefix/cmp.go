@@ -1,0 +1,49 @@
+// The orientation pair: cmpKernel/laneCmpKernel exercise modeOrient. The
+// single-lane side keeps the minimum on the keep-min branch and the maximum
+// on the other — the lane side's keep-min branch is drifted to keep the
+// maximum, which laneparity must flag as an orientation drift.
+package lanefix
+
+import "dualcube/internal/machine"
+
+func keepMinAt(u int, ord bool) bool {
+	return (u&1 == 0) == ord
+}
+
+type cmpKernel struct {
+	less func(a, b int) bool
+	key  []int
+	ord  []bool
+}
+
+func (ck *cmpKernel) Absorb(dc *machine.DirectCtx, k, u, v int) {
+	key := ck.key[u]
+	if keepMinAt(u, ck.ord[u]) {
+		if ck.less(v, key) {
+			key = v
+		}
+	} else if ck.less(key, v) {
+		key = v
+	}
+	ck.key[u] = key
+}
+
+type laneCmpKernel struct {
+	less func(a, b int) bool
+	k    int
+	key  []int
+	ord  []bool
+}
+
+func (lk *laneCmpKernel) Absorb(dc *machine.DirectCtx, step, u int, v []int) {
+	for l := 0; l < lk.k; l++ {
+		kv := lk.key[u*lk.k+l]
+		if keepMinAt(u, lk.ord[l]) {
+			if lk.less(kv, v[l]) {
+				lk.key[u*lk.k+l] = v[l] // want "orientation drift"
+			}
+		} else if lk.less(kv, v[l]) {
+			lk.key[u*lk.k+l] = v[l]
+		}
+	}
+}

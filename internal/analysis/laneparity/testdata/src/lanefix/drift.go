@@ -1,0 +1,77 @@
+// The drifted pair: laneDriftKernel diverges from driftKernel in three ways
+// laneparity must flag — a swapped combine order in Absorb (a drift the lane
+// differential tests cannot see on commutative monoids), a wrong staged
+// payload in Produce, and a dropped Ops accounting call in Local.
+package lanefix
+
+import "dualcube/internal/machine"
+
+type driftKernel struct {
+	combine func(a, b int) int
+	mdim    int
+	in, out []int
+	t, s2   []int
+}
+
+func (dk *driftKernel) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, int) {
+	if k == 0 {
+		dk.t[u] = dk.in[u]
+	}
+	if k == 2*dk.mdim+1 {
+		return machine.DirectExchange, dk.s2[u]
+	}
+	return machine.DirectExchange, dk.t[u]
+}
+
+func (dk *driftKernel) Absorb(dc *machine.DirectCtx, k, u, v int) {
+	if u&(1<<k) != 0 {
+		dk.out[u] = dk.combine(v, dk.out[u])
+	}
+	dk.t[u] = dk.combine(dk.t[u], v)
+}
+
+func (dk *driftKernel) Local(dc *machine.DirectCtx, k, u int) {
+	dk.out[u] = dk.combine(dk.t[u], dk.out[u])
+	dc.Ops(1)
+}
+
+type laneDriftKernel struct {
+	combine func(a, b int) int
+	mdim, k int
+	lanes   *machine.Lanes[int]
+	in      []int
+	res     [][]int
+	t, s2   []int
+}
+
+func (lk *laneDriftKernel) Produce(dc *machine.DirectCtx, step, u int) (machine.DirectRole, []int) {
+	if step == 0 {
+		copy(lk.t[u*lk.k:(u+1)*lk.k], lk.in[u*lk.k:(u+1)*lk.k])
+	}
+	row := lk.lanes.Row(step, u)[:lk.k]
+	if step == 2*lk.mdim+1 {
+		copy(row, lk.t[u*lk.k:(u+1)*lk.k]) // want "payload under"
+	} else {
+		copy(row, lk.t[u*lk.k:(u+1)*lk.k])
+	}
+	return machine.DirectExchange, row
+}
+
+func (lk *laneDriftKernel) Absorb(dc *machine.DirectCtx, step, u int, v []int) {
+	if u&(1<<step) != 0 {
+		for l := 0; l < lk.k; l++ {
+			lk.res[u][l] = lk.combine(lk.res[u][l], v[l]) // want "lane mirrors"
+		}
+	}
+	t := lk.t[u*lk.k : (u+1)*lk.k]
+	for l := 0; l < lk.k; l++ {
+		t[l] = lk.combine(t[l], v[l])
+	}
+}
+
+func (lk *laneDriftKernel) Local(dc *machine.DirectCtx, step, u int) { // want "mirrored statements"
+	t := lk.t[u*lk.k : (u+1)*lk.k]
+	for l := 0; l < lk.k; l++ {
+		lk.res[u][l] = lk.combine(t[l], lk.res[u][l])
+	}
+}

@@ -155,9 +155,9 @@ func (rk *routeKernel[P]) Produce(dc *machine.DirectCtx, k, u int) (machine.Dire
 		var send []P
 		for _, p := range rk.bufs[u] {
 			if rk.key(class, rk.dstNode(p))&(1<<i) != local&(1<<i) {
-				send = append(send, p)
+				send = append(send, p) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 			} else {
-				keep = append(keep, p)
+				keep = append(keep, p) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 			}
 		}
 		rk.bufs[u] = keep
@@ -165,21 +165,21 @@ func (rk *routeKernel[P]) Produce(dc *machine.DirectCtx, k, u int) (machine.Dire
 	default:
 		// Phase 4: deliver the cross-destined remainder; everything else
 		// must already be home.
-		keep := make([]P, 0, len(rk.bufs[u]))
+		keep := make([]P, 0, len(rk.bufs[u])) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 		var send []P
 		cross := d.CrossNeighbor(u)
 		for _, p := range rk.bufs[u] {
 			switch rk.dstNode(p) {
 			case topology.NodeID(u):
-				keep = append(keep, p)
+				keep = append(keep, p) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 			case cross:
-				send = append(send, p)
+				send = append(send, p) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 			default:
 				// A misrouted item means the routing keys disagree with the
 				// topology; record it and drop the item — the host's count
 				// check fails too, and the run reports the first error.
 				if rk.errs[u] == nil {
-					rk.errs[u] = fmt.Errorf("%s", rk.stranded(p, u))
+					rk.errs[u] = fmt.Errorf("%s", rk.stranded(p, u)) //dcvet:allow kernelpure -- protocol-error path, fires at most once per run
 				}
 			}
 		}
@@ -193,7 +193,7 @@ func (rk *routeKernel[P]) Absorb(dc *machine.DirectCtx, k, u int, v []P) {
 		rk.bufs[u] = v
 		return
 	}
-	rk.bufs[u] = append(rk.bufs[u], v...)
+	rk.bufs[u] = append(rk.bufs[u], v...) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 	if k < 2*rk.mdim+1 {
 		dc.Ops(1)
 	}

@@ -131,7 +131,7 @@ func (gk *gatherKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.Dir
 	d := gk.d
 	if k == 0 {
 		idx := d.DataIndex(u)
-		gk.bundles[u] = []item[T]{{idx: idx, val: gk.in[idx]}}
+		gk.bundles[u] = []item[T]{{idx: idx, val: gk.in[idx]}} //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 	}
 	switch {
 	case k < gk.mdim:

@@ -63,7 +63,10 @@ func (ak *laneAllReduceKernel[E]) Absorb(dc *machine.DirectCtx, step, u int, v [
 	m := ak.m
 	k := ak.k
 	local := ak.d.LocalID(u)
-	t := ak.t[u*k : (u+1)*k]
+	// Re-slice the rows to length k up front so every in-loop index is
+	// bounds-check-free (the escgate budget pins this at zero).
+	t := ak.t[u*k:][:k]
+	v = v[:k]
 	switch {
 	case step < ak.mdim:
 		if local&(1<<step) != 0 {

@@ -124,11 +124,11 @@ func (sk *scatterKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.Di
 		// Phase 1: root keeps the opposite class, exports its own class.
 		switch u {
 		case sk.root:
-			bundle := make([]item[T], len(sk.in))
+			bundle := make([]item[T], len(sk.in)) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 			for idx, v := range sk.in {
 				bundle[idx] = item[T]{idx: idx, val: v}
 			}
-			keep, send := partitionItems(bundle, func(it item[T]) bool {
+			keep, send := partitionItems(bundle, func(it item[T]) bool { //dcvet:allow kernelpure -- root-only split predicate, once per run
 				return d.Class(sk.destNode(it)) != sk.rootClass
 			})
 			sk.bundles[u] = keep
@@ -141,7 +141,7 @@ func (sk *scatterKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.Di
 		// Phase 2: split by destination cluster inside root's cluster and
 		// the mirror cluster (seed locals rootLocal and rootCluster; the
 		// responsible member for destination cluster x has local x).
-		clusterKey := func(it item[T]) int { return d.ClusterID(sk.destNode(it)) }
+		clusterKey := func(it item[T]) int { return d.ClusterID(sk.destNode(it)) } //dcvet:allow kernelpure -- split predicate pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 		if inRootCluster {
 			return sk.splitRole(k, u, sk.rootLocal, clusterKey)
 		}
@@ -174,7 +174,7 @@ func (sk *scatterKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.Di
 		if class != sk.rootClass {
 			seed = sk.rootCluster
 		}
-		return sk.splitRole(k, u, seed, func(it item[T]) int { return d.LocalID(sk.destNode(it)) })
+		return sk.splitRole(k, u, seed, func(it item[T]) int { return d.LocalID(sk.destNode(it)) }) //dcvet:allow kernelpure -- split predicate pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 	}
 }
 
@@ -227,7 +227,7 @@ type allGatherKernel[T any] struct {
 func (agk *allGatherKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, []item[T]) {
 	if k == 0 {
 		idx := agk.d.DataIndex(u)
-		agk.bundles[u] = []item[T]{{idx: idx, val: agk.in[idx]}}
+		agk.bundles[u] = []item[T]{{idx: idx, val: agk.in[idx]}} //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 	}
 	if k <= agk.mdim {
 		// Phases 1-2: all-gather the block within the cluster, then swap
@@ -257,7 +257,7 @@ func (agk *allGatherKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v []item[
 
 func (agk *allGatherKernel[T]) Local(dc *machine.DirectCtx, k, u int) {
 	dc.Ops(1)
-	res := make([]T, agk.d.Nodes())
+	res := make([]T, agk.d.Nodes()) //dcvet:allow kernelpure -- per-node result vector pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 	for _, it := range agk.bundles[u] {
 		res[it.idx] = it.val
 	}

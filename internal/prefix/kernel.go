@@ -154,9 +154,10 @@ func newLargeKernel[T any](d topology.Comm, m monoid.Monoid[T], chunk int, inclu
 func (lk *largeKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, T) {
 	if k == 0 {
 		idx := lk.d.DataIndex(u)
-		scan := lk.out[idx*lk.chunk : (idx+1)*lk.chunk]
+		cin := lk.in[idx*lk.chunk : (idx+1)*lk.chunk]
+		scan := lk.out[idx*lk.chunk:][:len(cin)]
 		acc := lk.m.Identity()
-		for i, v := range lk.in[idx*lk.chunk : (idx+1)*lk.chunk] {
+		for i, v := range cin {
 			if lk.inclusive {
 				acc = lk.m.Combine(acc, v)
 				scan[i] = acc
@@ -209,11 +210,13 @@ func (lk *largeKernel[T]) Local(dc *machine.DirectCtx, k, u int) {
 		lk.s[u] = lk.m.Combine(lk.t[u], lk.s[u])
 		dc.Ops(1)
 	}
-	// Fold the global offset into the local scan.
+	// Fold the global offset into the local scan. The offset load is
+	// hoisted so the loop body carries no bounds check.
 	idx := lk.d.DataIndex(u)
+	off := lk.s[u]
 	res := lk.out[idx*lk.chunk : (idx+1)*lk.chunk]
 	for i := range res {
-		res[i] = lk.m.Combine(lk.s[u], res[i])
+		res[i] = lk.m.Combine(off, res[i])
 	}
 	dc.Ops(lk.chunk)
 }

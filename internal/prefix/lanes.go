@@ -17,9 +17,13 @@ import (
 // throughput win comes from.
 
 // lanePrefixKernel is prefixKernel over k-wide rows. The per-node state
-// arrays t and s2 hold k lanes contiguously (node u's lanes at u*k..);
+// arrays s, t and s2 hold k lanes contiguously (node u's lanes at u*k..);
 // outgoing payloads are staged in the machine.Lanes plane per the parity
-// discipline documented there.
+// discipline documented there. Unlike the single-lane kernel, whose prefix
+// variable lives directly in out, the lane kernel accumulates the prefix in
+// the flat node-major s and scatters it to the per-lane out vectors once in
+// Local — keeping the Absorb inner loops on flat k-wide rows the compiler
+// can bounds-check-eliminate (the escgate budget pins them at zero).
 type lanePrefixKernel[E any] struct {
 	d         *topology.DualCube
 	m         monoid.Monoid[E]
@@ -29,6 +33,7 @@ type lanePrefixKernel[E any] struct {
 	lanes     *machine.Lanes[E]
 	in        [][]E // k input vectors, element order
 	out       [][]E // k result vectors, element order
+	s         []E   // node-major k-wide: the running prefix variable s
 	t         []E   // node-major k-wide: block total, then received totals t'
 	s2        []E   // node-major k-wide: diminished prefix of received totals s'
 }
@@ -39,27 +44,29 @@ type lanePrefixKernel[E any] struct {
 func NewLaneKernel[E any](d *topology.DualCube, m monoid.Monoid[E], inclusive bool, lanes *machine.Lanes[E], in, out [][]E) machine.DirectKernel[[]E] {
 	n := d.Nodes()
 	k := len(in)
-	state := make([]E, 2*n*k)
+	state := make([]E, 3*n*k)
 	return &lanePrefixKernel[E]{
 		d: d, m: m, mdim: d.ClusterDim(), k: k, inclusive: inclusive,
 		lanes: lanes, in: in, out: out,
-		t:  state[: n*k : n*k],
-		s2: state[n*k:],
+		s:  state[: n*k : n*k],
+		t:  state[n*k : 2*n*k : 2*n*k],
+		s2: state[2*n*k:],
 	}
 }
 
 func (pk *lanePrefixKernel[E]) Produce(dc *machine.DirectCtx, step, u int) (machine.DirectRole, []E) {
 	k := pk.k
 	idx := pk.d.DataIndex(u)
-	t := pk.t[u*k : (u+1)*k]
+	t := pk.t[u*k:][:k]
 	if step == 0 {
+		s := pk.s[u*k:][:k]
 		for l := 0; l < k; l++ {
 			v := pk.in[l][idx]
 			t[l] = v
 			if pk.inclusive {
-				pk.out[l][idx] = v
+				s[l] = v
 			} else {
-				pk.out[l][idx] = pk.m.Identity()
+				s[l] = pk.m.Identity()
 			}
 		}
 	}
@@ -75,17 +82,17 @@ func (pk *lanePrefixKernel[E]) Produce(dc *machine.DirectCtx, step, u int) (mach
 func (pk *lanePrefixKernel[E]) Absorb(dc *machine.DirectCtx, step, u int, v []E) {
 	m := pk.m
 	k := pk.k
-	idx := pk.d.DataIndex(u)
 	local := pk.d.LocalID(u)
-	t := pk.t[u*k : (u+1)*k]
+	t := pk.t[u*k:][:k]
+	v = v[:k]
 	switch {
 	case step < pk.mdim:
 		// Step 1 ascend: fold the received half into t and, in the upper
 		// half, into s — strictly lower-half-first for non-commutativity.
 		if local&(1<<step) != 0 {
-			out := pk.out
+			s := pk.s[u*k:][:k]
 			for l := 0; l < k; l++ {
-				out[l][idx] = m.Combine(v[l], out[l][idx])
+				s[l] = m.Combine(v[l], s[l])
 				t[l] = m.Combine(v[l], t[l])
 			}
 		} else {
@@ -96,7 +103,7 @@ func (pk *lanePrefixKernel[E]) Absorb(dc *machine.DirectCtx, step, u int, v []E)
 		dc.Ops(1)
 	case step == pk.mdim:
 		// Step 2: the received block total becomes t', s' starts empty.
-		s2 := pk.s2[u*k : (u+1)*k]
+		s2 := pk.s2[u*k:][:k]
 		for l := 0; l < k; l++ {
 			t[l] = v[l]
 			s2[l] = m.Identity()
@@ -104,7 +111,7 @@ func (pk *lanePrefixKernel[E]) Absorb(dc *machine.DirectCtx, step, u int, v []E)
 	case step <= 2*pk.mdim:
 		// Step 3 ascend of the received totals, diminished.
 		if i := step - pk.mdim - 1; local&(1<<i) != 0 {
-			s2 := pk.s2[u*k : (u+1)*k]
+			s2 := pk.s2[u*k:][:k]
 			for l := 0; l < k; l++ {
 				s2[l] = m.Combine(v[l], s2[l])
 				t[l] = m.Combine(v[l], t[l])
@@ -117,24 +124,30 @@ func (pk *lanePrefixKernel[E]) Absorb(dc *machine.DirectCtx, step, u int, v []E)
 		dc.Ops(1)
 	default:
 		// Step 4: fold the partner's s' into the prefix.
+		s := pk.s[u*k:][:k]
 		for l := 0; l < k; l++ {
-			pk.out[l][idx] = m.Combine(v[l], pk.out[l][idx])
+			s[l] = m.Combine(v[l], s[l])
 		}
 		dc.Ops(1)
 	}
 }
 
 func (pk *lanePrefixKernel[E]) Local(dc *machine.DirectCtx, step, u int) {
-	if pk.d.Class(u) != 1 {
-		return
-	}
-	// Step 5: class-1 blocks come after all class-0 blocks, so prepend the
-	// class-0 grand total (this node's t').
 	k := pk.k
 	idx := pk.d.DataIndex(u)
-	t := pk.t[u*k : (u+1)*k]
-	for l := 0; l < k; l++ {
-		pk.out[l][idx] = pk.m.Combine(t[l], pk.out[l][idx])
+	s := pk.s[u*k:][:k]
+	if pk.d.Class(u) == 1 {
+		// Step 5: class-1 blocks come after all class-0 blocks, so prepend
+		// the class-0 grand total (this node's t').
+		t := pk.t[u*k:][:k]
+		for l := 0; l < k; l++ {
+			s[l] = pk.m.Combine(t[l], s[l])
+		}
+		dc.Ops(1)
 	}
-	dc.Ops(1)
+	// Scatter the finished prefixes to the per-lane result vectors — the
+	// lane widening of the single-lane kernel's out-resident prefix.
+	for l := 0; l < k; l++ {
+		pk.out[l][idx] = s[l]
+	}
 }

@@ -65,7 +65,10 @@ func (lk *LaneSortKernel[K]) Absorb(dc *machine.DirectCtx, step, u int, v []K) {
 	meta := lk.metas[step]
 	id := int(lk.id[u])
 	dc.Ops(1)
-	key := lk.key[u*lk.k : (u+1)*lk.k]
+	// Re-slice the key row and payload to the lane width up front so the
+	// per-lane compare loops carry no bounds checks (escgate pins this).
+	key := lk.key[u*lk.k:][:lk.k]
+	v = v[:lk.k]
 	if meta.dirBit >= 0 {
 		// Direction by sort-ID bit: one keep-min decision covers every lane.
 		if keepMinAt(id, int(meta.dim), Order(id>>meta.dirBit&1)) {
@@ -84,8 +87,9 @@ func (lk *LaneSortKernel[K]) Absorb(dc *machine.DirectCtx, step, u int, v []K) {
 		return
 	}
 	// Outermost merge: direction is the lane's requested Order.
+	ords := lk.ords[:lk.k]
 	for l, kv := range key {
-		if keepMinAt(id, int(meta.dim), lk.ords[l]) {
+		if keepMinAt(id, int(meta.dim), ords[l]) {
 			if lk.less(v[l], kv) {
 				key[l] = v[l]
 			}
