@@ -28,11 +28,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark sweep plus the E23 serving load sweep: one
-# JSON line per point (grid: name, order, ns/op, allocs/op, cycles;
+# JSON line per point (grid: name, order, ns/op, allocs/op, bytes/op, cycles;
 # E23: op, order, clients, max batch, rps, p50/p99, mean batch).
 bench-json:
-	$(GO) run ./cmd/dcbench -json > BENCH_7.json
-	$(GO) run ./cmd/dcserve -load -op prefix -n 5 -clients 64 -dur 1s -sweep 1,8,32 -json >> BENCH_7.json
+	$(GO) run ./cmd/dcbench -json > BENCH_8.json
+	$(GO) run ./cmd/dcserve -load -op prefix -n 5 -clients 64 -dur 1s -sweep 1,8,32 -json >> BENCH_8.json
 
 # Regenerate every experiment table (the content of EXPERIMENTS.md).
 experiments:

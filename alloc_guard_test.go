@@ -217,6 +217,29 @@ func TestWarmRuntimeAllocGuard(t *testing.T) {
 		in[i] = i*2654435761 + 1
 		rev[i] = rt.Nodes() - 1 - i
 	}
+	// Total-exchange inputs: an N x N matrix for the fixed form and a
+	// skewed bundle matrix (lengths 0..2, including empties) for the
+	// variable form. Built once outside the measured closures.
+	N := rt.Nodes()
+	a2aBacking := make([]int, N*N)
+	a2a := make([][]int, N)
+	a2av := make([][][]int, N)
+	for i := range a2a {
+		a2a[i] = a2aBacking[i*N : (i+1)*N]
+		a2av[i] = make([][]int, N)
+		for j := range a2av[i] {
+			if l := (i + j) % 3; l > 0 {
+				b := make([]int, l)
+				for k := range b {
+					b[k] = i*N + j + k
+				}
+				a2av[i][j] = b
+			}
+		}
+	}
+	for i := range a2aBacking {
+		a2aBacking[i] = i * 31
+	}
 	SetSimWorkers(1)
 	defer SetSimWorkers(0)
 
@@ -234,32 +257,41 @@ func TestWarmRuntimeAllocGuard(t *testing.T) {
 			return err
 		}},
 		// Broadcast moves one value, so its warm floor is flat like prefix
-		// (measured 7 allocs/op); gather and scatter move per-node bundles
-		// and allocate result storage as bundles split or merge, so their
-		// warm floor scales with the node count (measured 4102 and 8176
-		// allocs/op on D_6). The ceilings pin those measured counts with
-		// only noise headroom: a regression adding even one alloc per node
-		// and step (2048 x 12) still fails loudly.
+		// (measured 7 allocs/op). Since the payload-plane rewrite the
+		// bundle collectives are flat too: values sit in a pooled arena and
+		// only extents (or int32 ids) move, so a warm run allocates the
+		// result storage plus fixed bookkeeping — measured 6 (gather),
+		// 6 (scatter), 8 (all-gather) allocs/op on D_6, down from 4102,
+		// 8176 and 26636 on the slice-of-bundles path. The ceilings leave
+		// noise headroom only: one stray per-node allocation (2048 nodes)
+		// blows any of them loudly.
 		{"BroadcastOn", 16, func() error {
 			_, _, err := BroadcastOn(rt, 3, 42)
 			return err
 		}},
-		{"GatherOn", 4500, func() error {
+		{"GatherOn", 16, func() error {
 			_, _, err := GatherOn(rt, 1, in)
 			return err
 		}},
-		{"ScatterOn", 8700, func() error {
+		{"ScatterOn", 16, func() error {
 			_, _, err := ScatterOn(rt, 1, in)
 			return err
 		}},
-		// All-gather materializes a full element sequence per node plus the
-		// growing per-node bundles of the flood, so its warm floor scales
-		// with nodes (measured 26636 allocs/op on D_6); permute routes one
-		// value per node through pooled kernel state and stays flat like
-		// prefix (measured 11 allocs/op). Ceilings pin the measured counts
-		// with only noise headroom.
-		{"AllGatherOn", 28000, func() error {
+		{"AllGatherOn", 16, func() error {
 			_, _, err := AllGatherOn(rt, in)
+			return err
+		}},
+		// The total exchanges route N² ids through the pooled route plane;
+		// a warm run allocates the result slab (one backing plus row
+		// headers, three slabs for the variable form) and fixed
+		// bookkeeping. Permute routes one value per node through pooled
+		// kernel state and stays flat like prefix (measured 11 allocs/op).
+		{"AllToAllOn", 24, func() error {
+			_, _, err := AllToAllOn(rt, a2a)
+			return err
+		}},
+		{"AllToAllVOn", 24, func() error {
+			_, _, err := AllToAllVOn(rt, a2av)
 			return err
 		}},
 		{"PermuteOn", 16, func() error {

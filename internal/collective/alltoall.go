@@ -9,13 +9,6 @@ import (
 	"dualcube/internal/topology"
 )
 
-// pkt is one personalized message in flight during AllToAll.
-type pkt[T any] struct {
-	src int // source element index
-	dst int // destination element index
-	val T
-}
-
 // AllToAll performs the total (all-to-all personalized) exchange: element
 // i sends the distinct value in[i][j] to element j, and out[j][i] = in[i][j]
 // — a distributed matrix transpose. It runs in 2n communication rounds
@@ -34,7 +27,11 @@ type pkt[T any] struct {
 //  4. one final cross-edge round delivering the remainder.
 //
 // Per-node buffers stay at N items throughout (the routing is perfectly
-// balanced for the full personalized exchange).
+// balanced for the full personalized exchange). The items ride the route
+// payload plane: the values sit still in one flat arena while int32 ids
+// (src·N + dst) move by copy through fixed stride-N regions, double-
+// buffered send planes carrying each round's outgoing run — so a warm call
+// allocates only the result slab plus fixed run bookkeeping.
 func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 	d, err := topology.Validated(n, len(in))
 	if err != nil {
@@ -46,160 +43,232 @@ func AllToAll[T any](n int, in [][]T) ([][]T, machine.Stats, error) {
 			return nil, machine.Stats{}, fmt.Errorf("collective: in[%d] has %d entries, want %d", i, len(row), N)
 		}
 	}
-	m := d.ClusterDim()
-	sch, err := dcomm.Compiled(d, dcomm.OpAllToAll)
+	rk, err := newRoute[T](d)
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
-	fieldMask := d.ClusterSize() - 1
-
-	// key is the within-cluster routing target of an item at a node of the
-	// given class: the destination coordinate occupying this class's local
-	// field (part I for class 0, part II for class 1).
-	key := func(class int, dstNode topology.NodeID) int {
-		if class == 0 {
-			return dstNode & fieldMask
-		}
-		return dstNode >> (n - 1) & fieldMask
+	pl := rk.pl
+	defer putRoutePlane(N, pl)
+	vals := pl.GrowVals(N * N)
+	for i, row := range in {
+		copy(vals[i*N:(i+1)*N], row)
 	}
-
-	out := make([][]T, N)
-	for j := range out {
-		out[j] = make([]T, N)
-	}
-	rk := &routeKernel[pkt[T]]{
-		d: d, mdim: m, key: key,
-		dst: func(p pkt[T]) int { return p.dst },
-		stranded: func(p pkt[T], u int) string {
-			return fmt.Sprintf("collective: all-to-all item (%d->%d) stranded at node %d", p.src, p.dst, u)
-		},
-		init: func(u, myIdx int) []pkt[T] {
-			buf := make([]pkt[T], N)
-			for j := 0; j < N; j++ {
-				buf[j] = pkt[T]{src: myIdx, dst: j, val: in[myIdx][j]}
-			}
-			return buf
-		},
-		bufs: make([][]pkt[T], N),
-		errs: make([]error, N),
-	}
-	st, err := dcomm.Execute(sch, machine.Config{}, rk)
+	st, err := rk.execute()
 	if err != nil {
 		return nil, st, err
 	}
+
+	backing := make([]T, N*N)
+	out := make([][]T, N)
+	logN := rk.logN
+	var firstE error
 	for u := 0; u < N; u++ {
-		buf := rk.bufs[u]
+		uerr := rk.nodeErr(u, "item")
+		cnt := int(pl.Cnt[u])
 		myIdx := d.DataIndex(u)
-		if len(buf) != N {
-			if rk.errs[u] == nil {
-				rk.errs[u] = fmt.Errorf("collective: node %d received %d of %d items", u, len(buf), N)
-			}
-			continue
-		}
-		row := out[myIdx]
-		for _, p := range buf {
-			if p.dst != myIdx {
-				if rk.errs[u] == nil {
-					rk.errs[u] = fmt.Errorf("collective: node %d holds foreign item for %d", u, p.dst)
+		row := backing[myIdx*N : (myIdx+1)*N : (myIdx+1)*N]
+		out[myIdx] = row
+		if uerr == nil {
+			for _, id := range pl.IDs[u*pl.Stride : u*pl.Stride+cnt] {
+				dst := int(id) & (N - 1)
+				if dst != myIdx {
+					if uerr == nil {
+						uerr = fmt.Errorf("collective: node %d holds foreign item for %d", u, dst)
+					}
+					continue
 				}
-				continue
+				row[id>>logN] = pl.Vals[id]
 			}
-			row[p.src] = p.val
+		}
+		if uerr != nil && firstE == nil {
+			firstE = uerr
 		}
 	}
-	if err := firstErr(rk.errs); err != nil {
-		return nil, st, err
+	if firstE != nil {
+		return nil, st, firstE
 	}
 	return out, st, nil
 }
 
-// routeKernel is the dimension-ordered total-exchange router shared by
-// AllToAll (fixed-size pkt payloads) and AllToAllV (variable-size vpkt
-// bundles): per in-cluster round a node splits its buffer by the routing key
-// bit and exchanges the moving half, the cross rounds carry the whole
-// buffer or the cross-destined remainder. A misrouted packet is recorded in
-// errs (the host also re-checks counts and ownership after the run).
-type routeKernel[P any] struct {
-	d        *topology.DualCube
-	mdim     int
-	key      func(class int, dstNode topology.NodeID) int
-	dst      func(P) int            // destination element index
-	stranded func(P, int) string    // phase-4 misroute diagnostics
-	init     func(u, myIdx int) []P // initial buffer of node u
-	bufs     [][]P
-	errs     []error
-}
-
-func (rk *routeKernel[P]) dstNode(p P) topology.NodeID {
-	return rk.d.NodeAtDataIndex(rk.dst(p))
-}
-
-func (rk *routeKernel[P]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, []P) {
-	d := rk.d
-	if k == 0 {
-		rk.bufs[u] = rk.init(u, d.DataIndex(u))
+// newRoute builds the route kernel for one total exchange on d: it
+// compiles the schedule, checks the id plane can address N² items, and
+// checks a plane out of the stash. The caller fills the value arena (and
+// the CSR table for the variable-size exchange), then calls execute.
+func newRoute[T any](d *topology.DualCube) (*routeKernel[T], error) {
+	sch, err := dcomm.Compiled(d, dcomm.OpAllToAll)
+	if err != nil {
+		return nil, err
 	}
+	n := d.Order()
+	if 2*(2*n-1) > 31 {
+		// id = src<<(2n-1) | dst must fit an int32; the excluded orders are
+		// far beyond what an N² exchange could materialize anyway.
+		return nil, fmt.Errorf("collective: all-to-all id plane overflows at order %d", n)
+	}
+	return &routeKernel[T]{
+		d: d, sch: sch, mdim: d.ClusterDim(), nodes: d.Nodes(),
+		logN: 2*n - 1, fieldMask: d.ClusterSize() - 1, clsShift: n - 1,
+		pl: routePlane[T](d.Nodes()),
+	}, nil
+}
+
+// routeKernel is the dimension-ordered total-exchange router shared by
+// AllToAll and AllToAllV over the route plane: per in-cluster round a node
+// compacts its kept ids in place and copies the moving run into its send
+// region, the cross rounds carry the whole buffer or the cross-destined
+// remainder. A misrouted id is recorded in the plane's Bad slot (the host
+// also re-checks counts and ownership after the run).
+type routeKernel[T any] struct {
+	d         *topology.DualCube
+	sch       *machine.Schedule
+	mdim      int
+	nodes     int
+	logN      int // id = srcElem<<logN | dstElem
+	fieldMask int
+	clsShift  int
+	pl        *machine.RoutePlane[T]
+}
+
+func (rk *routeKernel[T]) execute() (machine.Stats, error) {
+	return dcomm.Execute(rk.sch, machine.Config{}, rk)
+}
+
+// nodeErr formats node u's post-run delivery error (or nil): the kernel's
+// recorded marker first, then the count check. kind is the diagnostic noun
+// ("item" for alltoall, "bundle" for alltoallv).
+func (rk *routeKernel[T]) nodeErr(u int, kind string) error {
+	N := rk.nodes
+	if b := rk.pl.Bad[u]; b != 0 {
+		if b < 0 {
+			return fmt.Errorf("collective: node %d overflowed its route plane region", u)
+		}
+		id := int(b - 1)
+		return fmt.Errorf("collective: all-to-all%s (%d->%d) stranded at node %d",
+			strandedNoun(kind), id>>rk.logN, id&(N-1), u)
+	}
+	if cnt := int(rk.pl.Cnt[u]); cnt != N {
+		return fmt.Errorf("collective: node %d received %d of %d %ss", u, cnt, N, kind)
+	}
+	return nil
+}
+
+// strandedNoun renders the stranded-diagnostic spelling: " item" for the
+// fixed-size exchange, "-v bundle" for the variable one — preserving the
+// exact pre-plane error strings.
+func strandedNoun(kind string) string {
+	if kind == "bundle" {
+		return "-v bundle"
+	}
+	return " item"
+}
+
+// key is the within-cluster routing target of an item at a node of the
+// given class: the destination coordinate occupying this class's local
+// field (part I for class 0, part II for class 1).
+func (rk *routeKernel[T]) key(class int, dstNode topology.NodeID) int {
+	if class == 0 {
+		return dstNode & rk.fieldMask
+	}
+	return dstNode >> rk.clsShift & rk.fieldMask
+}
+
+func (rk *routeKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, machine.Extent) {
+	d := rk.d
+	p := rk.pl
+	base := u * p.Stride
+	if k == 0 {
+		// Seed: node u's N outgoing items, ids myIdx·N + j in order.
+		myIdx := d.DataIndex(u)
+		ids := p.IDs[base : base+p.Stride]
+		first := int32(myIdx << rk.logN)
+		for j := range ids {
+			ids[j] = first | int32(j)
+		}
+		p.Cnt[u] = int32(p.Stride)
+	}
+	cnt := int(p.Cnt[u])
+	ids := p.IDs[base : base+cnt]
+	send := p.Send[k&1][base : base+p.Stride]
 	switch {
 	case k == rk.mdim:
 		// Phase 2: the cross-edge carries the whole buffer.
-		return machine.DirectExchange, rk.bufs[u]
+		copy(send, ids)
+		return machine.DirectExchange, machine.Extent{Off: int32(base), Len: int32(cnt)}
 	case k < rk.mdim, k <= 2*rk.mdim:
 		// Phases 1 and 3: one dimension-ordered routing round; items whose
-		// key differs at the step's bit move to the partner.
+		// key differs at the step's bit move to the partner. Keeps compact
+		// in place, the moving run copies into this step's send plane.
 		i := k
 		if i > rk.mdim {
 			i = k - rk.mdim - 1
 		}
 		class, local := d.Class(u), d.LocalID(u)
-		keep := rk.bufs[u][:0]
-		var send []P
-		for _, p := range rk.bufs[u] {
-			if rk.key(class, rk.dstNode(p))&(1<<i) != local&(1<<i) {
-				send = append(send, p) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
+		keep, sent := 0, 0
+		for _, id := range ids {
+			dstNode := d.NodeAtDataIndex(int(id) & (rk.nodes - 1))
+			if rk.key(class, dstNode)&(1<<i) != local&(1<<i) {
+				send[sent] = id
+				sent++
 			} else {
-				keep = append(keep, p) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
+				ids[keep] = id
+				keep++
 			}
 		}
-		rk.bufs[u] = keep
-		return machine.DirectExchange, send
+		p.Cnt[u] = int32(keep)
+		return machine.DirectExchange, machine.Extent{Off: int32(base), Len: int32(sent)}
 	default:
 		// Phase 4: deliver the cross-destined remainder; everything else
 		// must already be home.
-		keep := make([]P, 0, len(rk.bufs[u])) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
-		var send []P
 		cross := d.CrossNeighbor(u)
-		for _, p := range rk.bufs[u] {
-			switch rk.dstNode(p) {
-			case topology.NodeID(u):
-				keep = append(keep, p) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
+		keep, sent := 0, 0
+		for _, id := range ids {
+			switch int(d.NodeAtDataIndex(int(id) & (rk.nodes - 1))) {
+			case u:
+				ids[keep] = id
+				keep++
 			case cross:
-				send = append(send, p) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
+				send[sent] = id
+				sent++
 			default:
 				// A misrouted item means the routing keys disagree with the
 				// topology; record it and drop the item — the host's count
 				// check fails too, and the run reports the first error.
-				if rk.errs[u] == nil {
-					rk.errs[u] = fmt.Errorf("%s", rk.stranded(p, u)) //dcvet:allow kernelpure -- protocol-error path, fires at most once per run
+				if p.Bad[u] == 0 {
+					p.Bad[u] = id + 1
 				}
 			}
 		}
-		rk.bufs[u] = keep
-		return machine.DirectExchange, send
+		p.Cnt[u] = int32(keep)
+		return machine.DirectExchange, machine.Extent{Off: int32(base), Len: int32(sent)}
 	}
 }
 
-func (rk *routeKernel[P]) Absorb(dc *machine.DirectCtx, k, u int, v []P) {
+func (rk *routeKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v machine.Extent) {
+	p := rk.pl
+	base := u * p.Stride
+	src := p.Send[k&1][v.Off : v.Off+v.Len]
 	if k == rk.mdim {
-		rk.bufs[u] = v
+		copy(p.IDs[base:base+len(src)], src)
+		p.Cnt[u] = v.Len
 		return
 	}
-	rk.bufs[u] = append(rk.bufs[u], v...) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
+	cnt := int(p.Cnt[u])
+	if cnt+len(src) > p.Stride {
+		// Region overflow is a routing-protocol failure (the balanced
+		// exchange never exceeds N per node); record and drop.
+		if p.Bad[u] == 0 {
+			p.Bad[u] = -1
+		}
+		return
+	}
+	copy(p.IDs[base+cnt:base+cnt+len(src)], src)
+	p.Cnt[u] = int32(cnt + len(src))
 	if k < 2*rk.mdim+1 {
 		dc.Ops(1)
 	}
 }
 
-func (rk *routeKernel[P]) Local(dc *machine.DirectCtx, k, u int) {}
+func (rk *routeKernel[T]) Local(dc *machine.DirectCtx, k, u int) {}
 
 // ReduceScatter combines the element-wise contributions of all nodes and
 // leaves each node with its own combined element: out[j] = in[0][j] ⊕

@@ -3,17 +3,9 @@ package collective
 import (
 	"fmt"
 
-	"dualcube/internal/dcomm"
 	"dualcube/internal/machine"
 	"dualcube/internal/topology"
 )
-
-// vpkt is one variable-size personalized bundle in flight during AllToAllV.
-type vpkt[T any] struct {
-	src  int // source element index
-	dst  int // destination element index
-	vals []T
-}
 
 // AllToAllV is the variable-size total exchange: element i sends the slice
 // in[i][j] (possibly empty) to element j, and out[j][i] = in[i][j]. The
@@ -22,6 +14,11 @@ type vpkt[T any] struct {
 // communication ROUNDS stay 2n while per-round volumes follow the data.
 // This is the exchange primitive bucket-based algorithms (sample sort,
 // radix partitioning) need.
+//
+// On the route plane the variable sizes cost nothing extra in flight: the
+// concatenated values sit still in the flat arena behind a CSR offset
+// table indexed by id, and only the int32 ids route. The host carves each
+// delivered bundle out of one result slab; empty bundles come back nil.
 func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 	d, err := topology.Validated(n, len(in))
 	if err != nil {
@@ -33,65 +30,68 @@ func AllToAllV[T any](n int, in [][][]T) ([][][]T, machine.Stats, error) {
 			return nil, machine.Stats{}, fmt.Errorf("collective: in[%d] has %d entries, want %d", i, len(row), N)
 		}
 	}
-	m := d.ClusterDim()
-	sch, err := dcomm.Compiled(d, dcomm.OpAllToAll)
+	rk, err := newRoute[T](d)
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
-	fieldMask := d.ClusterSize() - 1
-	key := func(class int, dstNode topology.NodeID) int {
-		if class == 0 {
-			return dstNode & fieldMask
+	pl := rk.pl
+	defer putRoutePlane(N, pl)
+	// CSR of the bundles in id order: bundle id (= i·N + j) occupies
+	// Vals[VOff[id]:VOff[id+1]].
+	voff := pl.GrowVOff(N*N + 1)
+	total := 0
+	for i, row := range in {
+		for j, b := range row {
+			voff[i*N+j] = int32(total)
+			total += len(b)
 		}
-		return dstNode >> (n - 1) & fieldMask
 	}
-
-	out := make([][][]T, N)
-	for j := range out {
-		out[j] = make([][]T, N)
+	voff[N*N] = int32(total)
+	vals := pl.GrowVals(total)
+	for i, row := range in {
+		for j, b := range row {
+			copy(vals[voff[i*N+j]:], b)
+		}
 	}
-	rk := &routeKernel[vpkt[T]]{
-		d: d, mdim: m, key: key,
-		dst: func(p vpkt[T]) int { return p.dst },
-		stranded: func(p vpkt[T], u int) string {
-			return fmt.Sprintf("collective: all-to-all-v bundle (%d->%d) stranded at node %d", p.src, p.dst, u)
-		},
-		init: func(u, myIdx int) []vpkt[T] {
-			buf := make([]vpkt[T], 0, N)
-			for j := 0; j < N; j++ {
-				buf = append(buf, vpkt[T]{src: myIdx, dst: j, vals: in[myIdx][j]})
-			}
-			return buf
-		},
-		bufs: make([][]vpkt[T], N),
-		errs: make([]error, N),
-	}
-	st, err := dcomm.Execute(sch, machine.Config{}, rk)
+	st, err := rk.execute()
 	if err != nil {
 		return nil, st, err
 	}
+
+	valBacking := make([]T, total)
+	hdrs := make([][]T, N*N)
+	out := make([][][]T, N)
+	filled := 0
+	var firstE error
 	for u := 0; u < N; u++ {
-		buf := rk.bufs[u]
+		uerr := rk.nodeErr(u, "bundle")
+		cnt := int(pl.Cnt[u])
 		myIdx := d.DataIndex(u)
-		if len(buf) != N {
-			if rk.errs[u] == nil {
-				rk.errs[u] = fmt.Errorf("collective: node %d received %d of %d bundles", u, len(buf), N)
-			}
-			continue
-		}
-		row := out[myIdx]
-		for _, p := range buf {
-			if p.dst != myIdx {
-				if rk.errs[u] == nil {
-					rk.errs[u] = fmt.Errorf("collective: node %d holds foreign bundle for %d", u, p.dst)
+		row := hdrs[myIdx*N : (myIdx+1)*N : (myIdx+1)*N]
+		out[myIdx] = row
+		if uerr == nil {
+			for _, id := range pl.IDs[u*pl.Stride : u*pl.Stride+cnt] {
+				dst := int(id) & (N - 1)
+				if dst != myIdx {
+					if uerr == nil {
+						uerr = fmt.Errorf("collective: node %d holds foreign bundle for %d", u, dst)
+					}
+					continue
 				}
-				continue
+				if l := int(voff[id+1] - voff[id]); l > 0 {
+					b := valBacking[filled : filled+l : filled+l]
+					filled += l
+					copy(b, pl.Vals[voff[id]:voff[id+1]])
+					row[id>>rk.logN] = b
+				}
 			}
-			row[p.src] = p.vals
+		}
+		if uerr != nil && firstE == nil {
+			firstE = uerr
 		}
 	}
-	if err := firstErr(rk.errs); err != nil {
-		return nil, st, err
+	if firstE != nil {
+		return nil, st, firstE
 	}
 	return out, st, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"dualcube/internal/monoid"
 	"dualcube/internal/seq"
+	"dualcube/internal/topology"
 )
 
 func TestBroadcastAllRoots(t *testing.T) {
@@ -232,17 +233,29 @@ func TestGatherBadArgs(t *testing.T) {
 	}
 }
 
-func TestMergeItems(t *testing.T) {
-	a := []item[string]{{0, "a"}, {2, "c"}}
-	b := []item[string]{{1, "b"}, {3, "d"}}
-	got := mergeItems(a, b)
-	for i, want := range []string{"a", "b", "c", "d"} {
-		if got[i].idx != i || got[i].val != want {
-			t.Fatalf("mergeItems = %v", got)
+func TestPlaneLayout(t *testing.T) {
+	// The gather/scatter arena order must be a permutation of the slots with
+	// the class halves contiguous: class-0 nodes fill [0, N/2), class-1
+	// nodes [N/2, N) — phase 1 of scatter (and phase 4 of gather) splits
+	// (merges) the arena exactly at that boundary.
+	for n := 1; n <= 4; n++ {
+		N := 1 << (2*n - 1)
+		d, err := topology.Validated(n, N)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if len(mergeItems[string](nil, nil)) != 0 {
-		t.Error("empty merge should be empty")
+		pos := layoutFor(d).posOf
+		seen := make([]bool, N)
+		for u := 0; u < N; u++ {
+			p := int(pos[u])
+			if p < 0 || p >= N || seen[p] {
+				t.Fatalf("n=%d: pos[%d]=%d is out of range or duplicated", n, u, p)
+			}
+			seen[p] = true
+			if half := N / 2; (p >= half) != (d.Class(u) == 1) {
+				t.Fatalf("n=%d: node %d (class %d) at slot %d crosses the class boundary", n, u, d.Class(u), p)
+			}
+		}
 	}
 }
 

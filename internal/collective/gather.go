@@ -8,30 +8,6 @@ import (
 	"dualcube/internal/topology"
 )
 
-// item is one element in flight during a gather: its global element index
-// (block data layout) and its value.
-type item[T any] struct {
-	idx int
-	val T
-}
-
-// mergeItems merges two index-sorted bundles into one.
-func mergeItems[T any](a, b []item[T]) []item[T] {
-	out := make([]item[T], 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i].idx <= b[j].idx {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
-}
-
 // Gather collects every node's value to root, returned in element order
 // (the block data layout: in[DataIndex(u)] is node u's value). Like the
 // other collectives it uses the cluster technique and takes exactly 2n
@@ -48,6 +24,13 @@ func mergeItems[T any](a, b []item[T]) []item[T] {
 //     are disjoint), n-1 steps: root now holds the whole opposite class,
 //     and root's cross neighbor holds the whole of root's class;
 //  4. root's cross neighbor hands its mega-bundle across, 1 step.
+//
+// The values ride the arena payload plane: the host places each node's
+// value at its bit-reversed arena slot, the kernel merges only (offset,
+// length) extents — the fan-in above unions adjacent runs at every step
+// under that order — and the host reads the single full-arena extent back
+// out at root. A warm call reuses the stashed plane and allocates only the
+// result slice plus fixed run bookkeeping.
 func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, error) {
 	d, err := topology.Validated(n, len(in))
 	if err != nil {
@@ -61,15 +44,20 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
-	rootClass := d.Class(root)
-	rootCluster := d.ClusterID(root)
-	rootLocal := d.LocalID(root)
+	N := d.Nodes()
+	lay := layoutFor(d)
+	pl := extentPlane[T](N)
+	defer putExtentPlane(N, pl)
+	// Element i belongs to node NodeAtDataIndex(i); place it at that node's
+	// arena slot.
+	for i, v := range in {
+		pl.Vals[lay.posOf[d.NodeAtDataIndex(i)]] = v
+	}
 
-	out := make([]T, d.Nodes())
 	gk := &gatherKernel[T]{
 		d: d, sch: sch, mdim: m, root: root,
-		rootClass: rootClass, rootCluster: rootCluster, rootLocal: rootLocal,
-		in: in, bundles: make([][]item[T], d.Nodes()),
+		rootClass: d.Class(root), rootCluster: d.ClusterID(root), rootLocal: d.LocalID(root),
+		posOf: lay.posOf, pl: pl,
 	}
 	// LinkCapacity only matters on the engine fallback path, where the
 	// bundle-bearing cross hops queue more than one message per link.
@@ -77,21 +65,24 @@ func Gather[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, err
 	if err != nil {
 		return nil, st, err
 	}
-	bundle := gk.bundles[root]
-	if len(bundle) != d.Nodes() {
-		return nil, st, fmt.Errorf("collective: gather delivered %d of %d items", len(bundle), d.Nodes())
+	if u, marker := pl.FirstBad(); u >= 0 {
+		return nil, st, fmt.Errorf("collective: gather merged non-adjacent extents at node %d (step %d)", u, marker-1)
 	}
-	for _, it := range bundle {
-		out[it.idx] = it.val
+	if int(pl.Len[root]) != N {
+		return nil, st, fmt.Errorf("collective: gather delivered %d of %d items", pl.Len[root], N)
+	}
+	out := make([]T, N)
+	for i := range out {
+		out[i] = pl.Vals[lay.posOf[d.NodeAtDataIndex(i)]]
 	}
 	return out, st, nil
 }
 
-// gatherKernel is the binomial fan-in as a kernel. A node's bundle is nil
-// exactly when it has handed its items up the collection tree — which also
-// disambiguates the phase-2 roles during Absorb: the bundle of a collector
-// that exchanged with its cross collector is still non-nil, a bare
-// receiver's is nil.
+// gatherKernel is the binomial fan-in as a kernel over the extent plane. A
+// node's bundle is empty (Len 0) exactly when it has handed its items up
+// the collection tree — which also disambiguates the phase-2 roles during
+// Absorb: the bundle of a collector that exchanged with its cross collector
+// is still non-empty, a bare receiver's is empty.
 type gatherKernel[T any] struct {
 	d           *topology.DualCube
 	sch         *machine.Schedule
@@ -100,8 +91,8 @@ type gatherKernel[T any] struct {
 	rootClass   int
 	rootCluster int
 	rootLocal   int
-	in          []T
-	bundles     [][]item[T]
+	posOf       []int32
+	pl          *machine.ExtentPlane[T]
 }
 
 // gatherRole is one level of the collection tree at node u: the schedule
@@ -127,34 +118,42 @@ func (gk *gatherKernel[T]) target(u int) int {
 	return gk.rootLocal
 }
 
-func (gk *gatherKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, []item[T]) {
+// take returns node u's current extent and empties its slot — the bundle is
+// leaving over the link.
+func (gk *gatherKernel[T]) take(u int) machine.Extent {
+	b := machine.Extent{Off: gk.pl.Off[u], Len: gk.pl.Len[u]}
+	gk.pl.Len[u] = 0
+	return b
+}
+
+func (gk *gatherKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, machine.Extent) {
 	d := gk.d
+	pl := gk.pl
 	if k == 0 {
-		idx := d.DataIndex(u)
-		gk.bundles[u] = []item[T]{{idx: idx, val: gk.in[idx]}} //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
+		pl.Off[u] = gk.posOf[u]
+		pl.Len[u] = 1
 	}
 	switch {
 	case k < gk.mdim:
 		// Phase 1: binomial gather of the cluster block toward the target
 		// (reverse flood: the schedule descends dimensions m-1 down to 0).
 		role := gk.gatherRole(k, u, gk.target(u))
-		b := gk.bundles[u]
 		if role == machine.DirectSend {
-			gk.bundles[u] = nil
+			return role, gk.take(u)
 		}
-		return role, b
+		return role, machine.Extent{Off: pl.Off[u], Len: pl.Len[u]}
 	case k == gk.mdim:
 		// Phase 2: collectors hop their cross-edges; a node receives iff its
 		// cross neighbor is a collector of its own cluster.
 		cross := d.CrossNeighbor(u)
-		isCollector := d.LocalID(u) == gk.target(u) && gk.bundles[u] != nil
+		isCollector := d.LocalID(u) == gk.target(u) && pl.Len[u] != 0
 		crossIsCollector := d.LocalID(cross) == gk.target(cross)
-		b := gk.bundles[u]
+		b := machine.Extent{Off: pl.Off[u], Len: pl.Len[u]}
 		switch {
 		case isCollector && crossIsCollector:
 			return machine.DirectExchange, b
 		case isCollector:
-			gk.bundles[u] = nil
+			pl.Len[u] = 0
 			return machine.DirectSend, b
 		case crossIsCollector:
 			return machine.DirectRecv, b
@@ -168,46 +167,48 @@ func (gk *gatherKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.Dir
 		inRootCluster := class == gk.rootClass && cluster == gk.rootCluster
 		inMirrorCluster := class != gk.rootClass && cluster == gk.rootLocal
 		if !inRootCluster && !inMirrorCluster {
-			return machine.DirectIdle, nil
+			return machine.DirectIdle, machine.Extent{}
 		}
 		tgt := gk.rootLocal
 		if inMirrorCluster {
 			tgt = gk.rootCluster
 		}
 		role := gk.gatherRole(k, u, tgt)
-		b := gk.bundles[u]
 		if role == machine.DirectSend {
-			gk.bundles[u] = nil
+			return role, gk.take(u)
 		}
-		return role, b
+		return role, machine.Extent{Off: pl.Off[u], Len: pl.Len[u]}
 	default:
 		// Phase 4: root's cross neighbor delivers the mega-bundle.
 		switch u {
 		case d.CrossNeighbor(gk.root):
-			b := gk.bundles[u]
-			gk.bundles[u] = nil
-			return machine.DirectSend, b
+			return machine.DirectSend, gk.take(u)
 		case gk.root:
-			return machine.DirectRecv, nil
+			return machine.DirectRecv, machine.Extent{}
 		}
-		return machine.DirectIdle, nil
+		return machine.DirectIdle, machine.Extent{}
 	}
 }
 
-func (gk *gatherKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v []item[T]) {
+func (gk *gatherKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v machine.Extent) {
+	pl := gk.pl
 	if k == gk.mdim {
 		// Phase 2 cross hop: collectors exchanging with their cross
-		// collector count the swap as a round of work; bare receivers (bundle
-		// already nil) just adopt the incoming bundle.
-		if gk.bundles[u] != nil {
-			gk.bundles[u] = v
+		// collector count the swap as a round of work; bare receivers
+		// (bundle already empty) just adopt the incoming extent.
+		if pl.Len[u] != 0 {
+			pl.Off[u], pl.Len[u] = v.Off, v.Len
 			dc.Ops(1)
 		} else {
-			gk.bundles[u] = v
+			pl.Off[u], pl.Len[u] = v.Off, v.Len
 		}
 		return
 	}
-	gk.bundles[u] = mergeItems(gk.bundles[u], v)
+	merged, ok := (machine.Extent{Off: pl.Off[u], Len: pl.Len[u]}).Merge(v)
+	if !ok && pl.Bad[u] == 0 {
+		pl.Bad[u] = int32(k) + 1
+	}
+	pl.Off[u], pl.Len[u] = merged.Off, merged.Len
 	dc.Ops(1)
 }
 

@@ -8,18 +8,6 @@ import (
 	"dualcube/internal/topology"
 )
 
-// partitionItems splits a bundle by a predicate, preserving order.
-func partitionItems[T any](b []item[T], keep func(item[T]) bool) (kept, sent []item[T]) {
-	for _, it := range b {
-		if keep(it) {
-			kept = append(kept, it)
-		} else {
-			sent = append(sent, it)
-		}
-	}
-	return kept, sent
-}
-
 // Scatter is the exact mirror of Gather: root starts with all N elements
 // in element order and every node ends with its own element (in[idx] lands
 // on NodeAtDataIndex(idx)). 2n communication steps:
@@ -33,7 +21,13 @@ func partitionItems[T any](b []item[T], keep func(item[T]) bool) (kept, sent []i
 //     cross-edges to that cluster's seed (1 step);
 //  4. every cluster splits its block down to single elements (n-1 steps).
 //
-// The returned slice is indexed by node ID with each node's own element.
+// The values ride the arena payload plane, ordered by DESTINATION slot
+// under the bit-reversed arena order: phase 1 is the split of the arena
+// into its class halves, and every later split is a midpoint halving of a
+// contiguous run (the key bit a step partitions by is the run's top
+// varying position), so the kernel only narrows extents and never moves a
+// value. The returned slice is indexed by node ID with each node's own
+// element.
 func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, error) {
 	d, err := topology.Validated(n, len(in))
 	if err != nil {
@@ -47,34 +41,40 @@ func Scatter[T any](n int, root topology.NodeID, in []T) ([]T, machine.Stats, er
 	if err != nil {
 		return nil, machine.Stats{}, err
 	}
-	rootClass := d.Class(root)
-	rootCluster := d.ClusterID(root)
-	rootLocal := d.LocalID(root)
+	N := d.Nodes()
+	lay := layoutFor(d)
+	pl := extentPlane[T](N)
+	defer putExtentPlane(N, pl)
+	// Element i is destined for node NodeAtDataIndex(i); place it at the
+	// destination's arena slot.
+	for i, v := range in {
+		pl.Vals[lay.posOf[d.NodeAtDataIndex(i)]] = v
+	}
 
-	out := make([]T, d.Nodes())
 	sk := &scatterKernel[T]{
 		d: d, sch: sch, mdim: m, root: root,
-		rootClass: rootClass, rootCluster: rootCluster, rootLocal: rootLocal,
-		in: in, bundles: make([][]item[T], d.Nodes()),
+		rootClass: d.Class(root), rootCluster: d.ClusterID(root), rootLocal: d.LocalID(root),
+		pl: pl, half: int32(N / 2),
 	}
 	st, err := dcomm.Execute(sch, machine.Config{}, sk)
 	if err != nil {
 		return nil, st, err
 	}
-	for u := 0; u < d.Nodes(); u++ {
-		b := sk.bundles[u]
-		if len(b) != 1 || d.NodeAtDataIndex(b[0].idx) != u {
-			return nil, st, fmt.Errorf("collective: scatter delivered %d item(s) to node %d", len(b), u)
+	out := make([]T, N)
+	for u := 0; u < N; u++ {
+		if pl.Len[u] != 1 || pl.Off[u] != lay.posOf[u] {
+			return nil, st, fmt.Errorf("collective: scatter delivered %d item(s) to node %d", pl.Len[u], u)
 		}
-		out[u] = b[0].val
+		out[u] = pl.Vals[pl.Off[u]]
 	}
 	return out, st, nil
 }
 
 // scatterKernel is the splitting fan-out as a kernel — the exact reverse of
-// gatherKernel's fan-in. Every receive simply adopts the incoming bundle
-// (the sender partitioned it), so Absorb is a plain replacement and the
-// host verifies each node ends with exactly its own element.
+// gatherKernel's fan-in, narrowing extents over the destination-ordered
+// arena. Every receive simply adopts the incoming extent (the sender
+// halved its run), so Absorb is a plain replacement and the host verifies
+// each node ends with exactly its own slot.
 type scatterKernel[T any] struct {
 	d           *topology.DualCube
 	sch         *machine.Schedule
@@ -83,72 +83,70 @@ type scatterKernel[T any] struct {
 	rootClass   int
 	rootCluster int
 	rootLocal   int
-	in          []T
-	bundles     [][]item[T]
-}
-
-func (sk *scatterKernel[T]) destNode(it item[T]) topology.NodeID {
-	return sk.d.NodeAtDataIndex(it.idx)
+	pl          *machine.ExtentPlane[T]
+	half        int32 // arena offset of the class-1 half
 }
 
 // splitRole is one level of the fan-out tree at node u: the schedule ascends
 // the dimensions, and at level i the active subtree is the set of locals
 // matching the seed on bits above i (the holders halve their bundles toward
-// the bit-i partner). Holders partition their bundle by key and send the
-// other half.
-func (sk *scatterKernel[T]) splitRole(k, u, seed int, key func(item[T]) int) (machine.DirectRole, []item[T]) {
+// the bit-i partner). Under the bit-reversed arena order the first half of a
+// holder's run carries key bit i == 0, so the holder keeps the half matching
+// its own bit and sends the other — a midpoint split, no value moves.
+func (sk *scatterKernel[T]) splitRole(k, u, seed int) (machine.DirectRole, machine.Extent) {
 	i := sk.sch.Steps[k].Dim
 	local := sk.d.LocalID(u)
 	maskAbove := ^((1 << (i + 1)) - 1)
 	if local&maskAbove != seed&maskAbove {
-		return machine.DirectIdle, nil // this subtree receives its share in a later round
+		return machine.DirectIdle, machine.Extent{} // this subtree receives its share in a later round
 	}
 	if local&(1<<i) == seed&(1<<i) {
-		// Holder: keep items whose key matches this side of bit i.
-		keep, send := partitionItems(sk.bundles[u], func(it item[T]) bool {
-			return key(it)&(1<<i) == local&(1<<i)
-		})
-		sk.bundles[u] = keep
+		pl := sk.pl
+		lo, hi := (machine.Extent{Off: pl.Off[u], Len: pl.Len[u]}).Halves()
+		keep, send := lo, hi
+		if local&(1<<i) != 0 {
+			keep, send = hi, lo
+		}
+		pl.Off[u], pl.Len[u] = keep.Off, keep.Len
 		return machine.DirectSend, send
 	}
-	return machine.DirectRecv, nil
+	return machine.DirectRecv, machine.Extent{}
 }
 
-func (sk *scatterKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, []item[T]) {
+func (sk *scatterKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, machine.Extent) {
 	d := sk.d
+	pl := sk.pl
 	class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
 	inRootCluster := class == sk.rootClass && cluster == sk.rootCluster
 	inMirrorCluster := class != sk.rootClass && cluster == sk.rootLocal
 	switch {
 	case k == 0:
-		// Phase 1: root keeps the opposite class, exports its own class.
+		// Phase 1: root keeps the opposite class, exports its own class. The
+		// arena's class halves are exactly those two sets.
 		switch u {
 		case sk.root:
-			bundle := make([]item[T], len(sk.in)) //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
-			for idx, v := range sk.in {
-				bundle[idx] = item[T]{idx: idx, val: v}
+			keep := machine.Extent{Off: 0, Len: sk.half}
+			send := machine.Extent{Off: sk.half, Len: sk.half}
+			if sk.rootClass == 0 {
+				keep, send = send, keep
 			}
-			keep, send := partitionItems(bundle, func(it item[T]) bool { //dcvet:allow kernelpure -- root-only split predicate, once per run
-				return d.Class(sk.destNode(it)) != sk.rootClass
-			})
-			sk.bundles[u] = keep
+			pl.Off[u], pl.Len[u] = keep.Off, keep.Len
 			return machine.DirectSend, send
 		case d.CrossNeighbor(sk.root):
-			return machine.DirectRecv, nil
+			return machine.DirectRecv, machine.Extent{}
 		}
-		return machine.DirectIdle, nil
+		return machine.DirectIdle, machine.Extent{}
 	case k <= sk.mdim:
 		// Phase 2: split by destination cluster inside root's cluster and
 		// the mirror cluster (seed locals rootLocal and rootCluster; the
 		// responsible member for destination cluster x has local x).
-		clusterKey := func(it item[T]) int { return d.ClusterID(sk.destNode(it)) } //dcvet:allow kernelpure -- split predicate pending the zero-alloc payload plane (ROADMAP); escgate budgets it
 		if inRootCluster {
-			return sk.splitRole(k, u, sk.rootLocal, clusterKey)
+			return sk.splitRole(k, u, sk.rootLocal)
 		}
 		if inMirrorCluster {
-			return sk.splitRole(k, u, sk.rootCluster, clusterKey)
+			return sk.splitRole(k, u, sk.rootCluster)
 		}
-		return machine.DirectIdle, nil
+		return machine.DirectIdle, machine.Extent{}
 	case k == sk.mdim+1:
 		// Phase 3: hand each destination cluster's block to its seed over
 		// the cross-edges. Receivers are the seeds: local == rootCluster in
@@ -156,17 +154,17 @@ func (sk *scatterKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.Di
 		isSeed := (class == sk.rootClass && local == sk.rootLocal) ||
 			(class != sk.rootClass && local == sk.rootCluster)
 		isSender := inRootCluster || inMirrorCluster
-		b := sk.bundles[u]
+		b := machine.Extent{Off: pl.Off[u], Len: pl.Len[u]}
 		switch {
 		case isSender && isSeed:
 			return machine.DirectExchange, b
 		case isSender:
-			sk.bundles[u] = nil
+			pl.Len[u] = 0
 			return machine.DirectSend, b
 		case isSeed:
-			return machine.DirectRecv, nil
+			return machine.DirectRecv, machine.Extent{}
 		}
-		return machine.DirectIdle, nil
+		return machine.DirectIdle, machine.Extent{}
 	default:
 		// Phase 4: every cluster splits its block from its seed down to
 		// single elements.
@@ -174,92 +172,12 @@ func (sk *scatterKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.Di
 		if class != sk.rootClass {
 			seed = sk.rootCluster
 		}
-		return sk.splitRole(k, u, seed, func(it item[T]) int { return d.LocalID(sk.destNode(it)) }) //dcvet:allow kernelpure -- split predicate pending the zero-alloc payload plane (ROADMAP); escgate budgets it
+		return sk.splitRole(k, u, seed)
 	}
 }
 
-func (sk *scatterKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v []item[T]) {
-	sk.bundles[u] = v
+func (sk *scatterKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v machine.Extent) {
+	sk.pl.Off[u], sk.pl.Len[u] = v.Off, v.Len
 }
 
 func (sk *scatterKernel[T]) Local(dc *machine.DirectCtx, k, u int) {}
-
-// AllGather delivers every node's element to every node (in element
-// order), in 2n communication steps: in-cluster all-gather (n-1 steps,
-// bundles doubling), cross-edge block exchange (1), in-cluster all-gather
-// of the received blocks — after which each node holds the entire opposite
-// class (n-1 steps) — and a final cross-edge swap of the class halves (1).
-func AllGather[T any](n int, in []T) ([][]T, machine.Stats, error) {
-	d, err := topology.Validated(n, len(in))
-	if err != nil {
-		return nil, machine.Stats{}, err
-	}
-	m := d.ClusterDim()
-	sch, err := dcomm.Compiled(d, dcomm.OpAllGather)
-	if err != nil {
-		return nil, machine.Stats{}, err
-	}
-	out := make([][]T, d.Nodes())
-	agk := &allGatherKernel[T]{
-		d: d, mdim: m, in: in, out: out,
-		bundles: make([][]item[T], d.Nodes()),
-		others:  make([][]item[T], d.Nodes()),
-	}
-	st, err := dcomm.Execute(sch, machine.Config{}, agk)
-	if err != nil {
-		return nil, st, err
-	}
-	return out, st, nil
-}
-
-// allGatherKernel doubles bundles along the cluster sweeps: bundle grows to
-// the node's own class block, other to the complete opposite class, and the
-// final cross swap plus local merge assembles the whole sequence per node.
-type allGatherKernel[T any] struct {
-	d       *topology.DualCube
-	mdim    int
-	in      []T
-	out     [][]T
-	bundles [][]item[T] // own-class growth, then the fully merged sequence
-	others  [][]item[T] // opposite-class growth after the first cross swap
-}
-
-func (agk *allGatherKernel[T]) Produce(dc *machine.DirectCtx, k, u int) (machine.DirectRole, []item[T]) {
-	if k == 0 {
-		idx := agk.d.DataIndex(u)
-		agk.bundles[u] = []item[T]{{idx: idx, val: agk.in[idx]}} //dcvet:allow kernelpure -- v-collective bundle growth pending the zero-alloc payload plane (ROADMAP); escgate budgets it
-	}
-	if k <= agk.mdim {
-		// Phases 1-2: all-gather the block within the cluster, then swap
-		// blocks over the cross-edge.
-		return machine.DirectExchange, agk.bundles[u]
-	}
-	// Phases 3-4: all-gather the received blocks, then swap class halves.
-	return machine.DirectExchange, agk.others[u]
-}
-
-func (agk *allGatherKernel[T]) Absorb(dc *machine.DirectCtx, k, u int, v []item[T]) {
-	switch {
-	case k < agk.mdim:
-		agk.bundles[u] = mergeItems(agk.bundles[u], v)
-		dc.Ops(1)
-	case k == agk.mdim:
-		agk.others[u] = v
-	case k <= 2*agk.mdim:
-		agk.others[u] = mergeItems(agk.others[u], v)
-		dc.Ops(1)
-	default:
-		// v is this node's own class half, swapped back; the union is the
-		// whole sequence.
-		agk.bundles[u] = mergeItems(v, agk.others[u])
-	}
-}
-
-func (agk *allGatherKernel[T]) Local(dc *machine.DirectCtx, k, u int) {
-	dc.Ops(1)
-	res := make([]T, agk.d.Nodes()) //dcvet:allow kernelpure -- per-node result vector pending the zero-alloc payload plane (ROADMAP); escgate budgets it
-	for _, it := range agk.bundles[u] {
-		res[it.idx] = it.val
-	}
-	agk.out[u] = res
-}

@@ -131,11 +131,52 @@ func TestAllGatherBadArgs(t *testing.T) {
 	}
 }
 
-func TestPartitionItems(t *testing.T) {
-	b := []item[int]{{0, 10}, {1, 11}, {2, 12}, {3, 13}}
-	kept, sent := partitionItems(b, func(it item[int]) bool { return it.idx%2 == 0 })
-	if len(kept) != 2 || len(sent) != 2 || kept[0].idx != 0 || kept[1].idx != 2 || sent[0].idx != 1 {
-		t.Errorf("partition = %v / %v", kept, sent)
+func TestScatterSplitIsRevContiguous(t *testing.T) {
+	// The scatter fan-out's correctness rests on the arena-order theorem:
+	// under the bit-reversed layout, the set of destinations a holder keeps
+	// at a phase-4 step — dest-local bit i equal to its own — is always one
+	// contiguous half of its current run. Check the theorem directly: for
+	// every cluster-row run and every bit, the kept slots form the first or
+	// second half.
+	for n := 2; n <= 3; n++ {
+		N := 1 << (2*n - 1)
+		d, _ := topology.Validated(n, N)
+		m := d.ClusterDim()
+		pos := layoutFor(d).posOf
+		for u := 0; u < N; u++ {
+			class, cluster, local := d.Class(u), d.ClusterID(u), d.LocalID(u)
+			for i := 0; i < m; i++ {
+				// The run at step i: cluster-mates matching u's local on bits
+				// below i. It must be contiguous, and the sub-run matching at
+				// bit i too must be the half selected by u's bit.
+				runLo, runHi, keepLo, keepHi := N, -1, N, -1
+				low := (1 << i) - 1
+				for v := 0; v < N; v++ {
+					if d.Class(v) != class || d.ClusterID(v) != cluster ||
+						d.LocalID(v)&low != local&low {
+						continue
+					}
+					p := int(pos[v])
+					runLo, runHi = min(runLo, p), max(runHi, p)
+					if d.LocalID(v)&(1<<i) == local&(1<<i) {
+						keepLo, keepHi = min(keepLo, p), max(keepHi, p)
+					}
+				}
+				runLen := 1 << (m - i)
+				if runHi-runLo+1 != runLen || keepHi-keepLo+1 != runLen/2 {
+					t.Fatalf("n=%d u=%d bit %d: run [%d,%d] keep [%d,%d] not a contiguous halving",
+						n, u, i, runLo, runHi, keepLo, keepHi)
+				}
+				wantLo := runLo
+				if local&(1<<i) != 0 {
+					wantLo = runLo + runLen/2
+				}
+				if keepLo != wantLo {
+					t.Fatalf("n=%d u=%d bit %d: kept half starts at %d, want %d (bit selects the half)",
+						n, u, i, keepLo, wantLo)
+				}
+			}
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ type BenchPoint struct {
 	Sched       string `json:"sched"`         // backend the point ran on
 	NsPerOp     int64  `json:"ns_per_op"`     // median wall time per run
 	AllocsPerOp uint64 `json:"allocs_per_op"` // steady-state heap allocations per run
+	BytesPerOp  uint64 `json:"bytes_per_op"`  // steady-state heap bytes allocated per run
 	Cycles      int    `json:"cycles"`        // simulated communication cycles
 	Runs        int    `json:"runs"`          // timing samples behind the median
 	// Skip, when set, records why this grid cell was not measured (e.g. a
@@ -86,16 +88,11 @@ var benchWorkloads = []struct {
 		_, st, err := collective.Scatter(n, 1, in)
 		return st, err
 	}},
-	{"alltoall", nil, []int{3, 4, 5, 6}, func(n int) string {
-		// The N^2-element personalized exchange costs ~1.3s per run at D_6
-		// (2048 nodes); with warm-up, the alloc count and 5 timing samples
-		// that one cell would dominate the whole sweep, so the bench-smoke
-		// grid stops at D_5 and records why here.
-		if n >= 6 {
-			return fmt.Sprintf("%d^2-element exchange runs ~1.3s/op; 8 measured runs would dominate the sweep", 1<<(2*n-1))
-		}
-		return ""
-	}, func(topo string, n int) (machine.Stats, error) {
+	// The D_6 cell used to be skipped — the slice-of-bundles exchange ran
+	// ~1.3s/op and would have dominated the sweep. On the route payload
+	// plane the 2048^2-id exchange fits the grid's budget, so the full
+	// column is measured.
+	{"alltoall", nil, []int{3, 4, 5, 6}, nil, func(topo string, n int) (machine.Stats, error) {
 		N := 1 << (2*n - 1)
 		in := make([][]int, N)
 		for i := range in {
@@ -107,6 +104,22 @@ var benchWorkloads = []struct {
 		_, st, err := collective.AllToAll(n, in)
 		return st, err
 	}},
+}
+
+// bytesPerRun measures the heap bytes one warm run allocates: the delta of
+// the runtime's cumulative TotalAlloc counter around the run, which GC
+// activity cannot deflate (unlike HeapAlloc). One sample suffices for the
+// grid's purposes — warm runs are allocation-deterministic up to pool and
+// map-growth noise, the same tolerance AllocsPerRun accepts.
+func bytesPerRun(run func() error) (uint64, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.TotalAlloc
+	if err := run(); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc - before, nil
 }
 
 // SetBenchSched selects the backend for a JSON bench run by name. The empty
@@ -164,6 +177,13 @@ func BenchSweep(sched string, runs int) ([]BenchPoint, error) {
 				if allocErr != nil {
 					return nil, fmt.Errorf("bench %s/%s/D_%d: %w", w.name, topo, n, allocErr)
 				}
+				bytes, err := bytesPerRun(func() error {
+					_, err := w.run(topo, n)
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench %s/%s/D_%d: %w", w.name, topo, n, err)
+				}
 				samples := make([]time.Duration, runs)
 				for i := range samples {
 					start := time.Now()
@@ -180,6 +200,7 @@ func BenchSweep(sched string, runs int) ([]BenchPoint, error) {
 					Sched:       sched,
 					NsPerOp:     median(samples).Nanoseconds(),
 					AllocsPerOp: uint64(allocs),
+					BytesPerOp:  bytes,
 					Cycles:      st.Cycles,
 					Runs:        runs,
 				})

@@ -85,6 +85,8 @@ var registry = []Experiment{
 		HowTo: "go test -bench BenchmarkE22SortSchedulers -benchtime 20x ."},
 	{ID: "E23", Title: "batched serving throughput (request coalescing)",
 		HowTo: "go run ./cmd/dcserve -load -op prefix -n 5 -clients 64 -dur 2s -sweep 1,8,32"},
+	{ID: "E24", Title: "arena payload plane for the v-collectives (before/after)",
+		HowTo: "make bench-json (compare BENCH_8.json to BENCH_7.json); go test -run TestWarmRuntimeAllocGuard -v ."},
 }
 
 // Registry returns the experiment list in EXPERIMENTS.md order.

@@ -1,0 +1,83 @@
+package machine
+
+import "testing"
+
+func TestExtentMerge(t *testing.T) {
+	cases := []struct {
+		a, b Extent
+		want Extent
+		ok   bool
+	}{
+		{Extent{}, Extent{Off: 4, Len: 2}, Extent{Off: 4, Len: 2}, true},                // empty ∪ b
+		{Extent{Off: 4, Len: 2}, Extent{}, Extent{Off: 4, Len: 2}, true},                // a ∪ empty
+		{Extent{Off: 0, Len: 4}, Extent{Off: 4, Len: 4}, Extent{Off: 0, Len: 8}, true},  // a then b
+		{Extent{Off: 4, Len: 4}, Extent{Off: 0, Len: 4}, Extent{Off: 0, Len: 8}, true},  // b then a
+		{Extent{Off: 0, Len: 2}, Extent{Off: 4, Len: 2}, Extent{Off: 0, Len: 2}, false}, // gap
+		{Extent{Off: 0, Len: 4}, Extent{Off: 2, Len: 4}, Extent{Off: 0, Len: 4}, false}, // overlap
+	}
+	for i, c := range cases {
+		got, ok := c.a.Merge(c.b)
+		if got != c.want || ok != c.ok {
+			t.Errorf("case %d: %v.Merge(%v) = %v,%v want %v,%v", i, c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestExtentHalves(t *testing.T) {
+	lo, hi := (Extent{Off: 8, Len: 4}).Halves()
+	if lo != (Extent{Off: 8, Len: 2}) || hi != (Extent{Off: 10, Len: 2}) {
+		t.Errorf("halves = %v %v", lo, hi)
+	}
+	// Halving then merging round-trips.
+	if m, ok := lo.Merge(hi); !ok || m != (Extent{Off: 8, Len: 4}) {
+		t.Errorf("halves do not merge back: %v %v", m, ok)
+	}
+}
+
+func TestExtentPlaneReset(t *testing.T) {
+	p := NewExtentPlane[int](8)
+	if p.Nodes() != 8 || len(p.Off) != 8 || len(p.Bad) != 8 {
+		t.Fatalf("plane geometry wrong: %d nodes", p.Nodes())
+	}
+	p.Off[3], p.Len[3], p.Off2[5], p.Len2[5], p.Bad[7] = 1, 2, 3, 4, 5
+	p.Reset()
+	for u := 0; u < 8; u++ {
+		if p.Off[u]|p.Len[u]|p.Off2[u]|p.Len2[u]|p.Bad[u] != 0 {
+			t.Fatalf("Reset left node %d dirty", u)
+		}
+	}
+	if u, m := p.FirstBad(); u != -1 || m != 0 {
+		t.Errorf("FirstBad on clean plane = %d,%d", u, m)
+	}
+	p.Bad[2] = 9
+	if u, m := p.FirstBad(); u != 2 || m != 9 {
+		t.Errorf("FirstBad = %d,%d want 2,9", u, m)
+	}
+}
+
+func TestRoutePlaneGrow(t *testing.T) {
+	p := NewRoutePlane[string](4)
+	if p.Stride != 4 || len(p.IDs) != 16 || len(p.Send[0]) != 16 || len(p.Send[1]) != 16 {
+		t.Fatalf("route plane geometry wrong")
+	}
+	v1 := p.GrowVals(10)
+	if len(v1) != 10 {
+		t.Fatalf("GrowVals(10) len %d", len(v1))
+	}
+	v1[9] = "x"
+	// Shrinking reuses the backing; growing within capacity reuses it too.
+	v2 := p.GrowVals(3)
+	if len(v2) != 3 || &v2[0] != &v1[0] {
+		t.Errorf("GrowVals(3) did not reuse the backing")
+	}
+	o1 := p.GrowVOff(5)
+	o2 := p.GrowVOff(4)
+	if len(o2) != 4 || &o1[0] != &o2[0] {
+		t.Errorf("GrowVOff did not reuse the backing")
+	}
+	p.Cnt[1], p.Bad[2] = 7, -1
+	p.Reset()
+	if p.Cnt[1] != 0 || p.Bad[2] != 0 {
+		t.Errorf("Reset left counters dirty")
+	}
+}

@@ -151,6 +151,11 @@ func (rt *Runtime) Warm() error {
 			return err
 		}
 	}
+	if rt.d != nil {
+		// Pre-build the arena layout table the payload-plane collectives
+		// index by; like the schedules it is cached per order and shared.
+		collective.WarmLayout(rt.d)
+	}
 	return nil
 }
 
